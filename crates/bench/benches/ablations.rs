@@ -1,0 +1,195 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **Lazy vs eager GHFK** — M1's "one block per index GHFK" depends on
+//!   the lazy iterator never touching the delete-marker's block; an eager
+//!   reader pays roughly double.
+//! * **Block cache on/off** — Fabric v1.0 has none; how much of TQF's pain
+//!   would an LRU block cache absorb?
+//! * **Partition strategy** — the paper's fixed-`u` vs the future-work
+//!   event-count-balanced strategy, on zipf-skewed DS2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fabric_ledger::{Ledger, LedgerConfig};
+use fabric_workload::dataset::{generate_scaled, DatasetId};
+use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
+use temporal_bench::Ctx;
+use temporal_core::interval::Interval;
+use temporal_core::join::ferry_query;
+use temporal_core::m1::{M1Engine, M1Indexer};
+use temporal_core::partition::{EventCountBalanced, FixedLength};
+use temporal_core::tqf::TqfEngine;
+
+const SCALE: u32 = 300;
+
+fn bench_lazy_vs_eager_ghfk(c: &mut Criterion) {
+    let ctx = Ctx::with_scale(SCALE);
+    let id = DatasetId::Ds1;
+    let u = ctx.scale_time(id, 2000);
+    let ledger = ctx
+        .m1_ledger(id, IngestMode::MultiEvent, u)
+        .expect("m1 fixture");
+    let key = ctx.workload(id).keys()[0];
+    let theta = Interval::new(0, u);
+    let composite = theta.composite_key(&key.key());
+
+    let mut g = c.benchmark_group("ablation/ghfk_index_read");
+    // Lazy: read the event set (first state) and abandon the iterator —
+    // the delete marker's block is never deserialized.
+    g.bench_function("lazy-first-state", |b| {
+        b.iter(|| {
+            let mut iter = ledger.get_history_for_key(&composite).unwrap();
+            iter.next().unwrap().map(|s| s.value.map(|v| v.len()))
+        })
+    });
+    // Eager: drain the whole history — also deserializes the block holding
+    // the delete marker.
+    g.bench_function("eager-full-history", |b| {
+        b.iter(|| {
+            ledger
+                .get_history_for_key(&composite)
+                .unwrap()
+                .collect_all()
+                .unwrap()
+                .len()
+        })
+    });
+    // Report the counter difference once, so the ablation is quantified in
+    // blocks and not only nanoseconds.
+    let before = ledger.stats();
+    let mut iter = ledger.get_history_for_key(&composite).unwrap();
+    let _ = iter.next().unwrap();
+    let lazy_blocks = ledger.stats().delta(&before).blocks_deserialized;
+    let before = ledger.stats();
+    ledger
+        .get_history_for_key(&composite)
+        .unwrap()
+        .collect_all()
+        .unwrap();
+    let eager_blocks = ledger.stats().delta(&before).blocks_deserialized;
+    eprintln!("[ablation] lazy reads {lazy_blocks} block(s), eager reads {eager_blocks}");
+    g.finish();
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    // Same data, TQF repeated on a late window, with and without an LRU
+    // block cache. The cached run models a peer that amortizes repeated
+    // temporal queries; the uncached run is Fabric v1.0 (and the paper).
+    let workload = generate_scaled(DatasetId::Ds1, 600);
+    let t_max = workload.params.t_max;
+    let tau = Interval::new(t_max - t_max / 15, t_max);
+    let root = std::env::temp_dir().join(format!("ablation-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let build = |sub: &str, cache_blocks: usize| {
+        let ledger = Ledger::open(
+            root.join(sub),
+            LedgerConfig::default().with_cache_blocks(cache_blocks),
+        )
+        .unwrap();
+        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+        ledger
+    };
+    let uncached = build("off", 0);
+    let cached = build("on", 100_000);
+    // Warm the cache once so the benchmark measures the steady state.
+    ferry_query(&TqfEngine, &cached, tau).unwrap();
+
+    let mut g = c.benchmark_group("ablation/block_cache_tqf_late");
+    g.sample_size(10);
+    g.bench_function("cache-off", |b| {
+        b.iter(|| ferry_query(&TqfEngine, &uncached, tau).unwrap().records.len())
+    });
+    g.bench_function("cache-on-warm", |b| {
+        b.iter(|| ferry_query(&TqfEngine, &cached, tau).unwrap().records.len())
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn bench_partition_strategies(c: &mut Criterion) {
+    // Fixed-u vs event-count-balanced on zipf data: balanced intervals put
+    // a bounded number of events behind every index GHFK, which pays off
+    // in the dense early region.
+    let workload = generate_scaled(DatasetId::Ds2, 600);
+    let t_max = workload.params.t_max;
+    let u = t_max / 75;
+    let per_interval_target = (workload.params.events_per_key as usize / 75).max(2);
+    let root = std::env::temp_dir().join(format!("ablation-part-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let fixed_ledger = Ledger::open(root.join("fixed"), LedgerConfig::default()).unwrap();
+    ingest(&fixed_ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    let strategy = FixedLength { u };
+    M1Indexer::fixed(&strategy)
+        .run_epoch(&fixed_ledger, &workload.keys(), Interval::new(0, t_max))
+        .unwrap();
+
+    let balanced_ledger = Ledger::open(root.join("balanced"), LedgerConfig::default()).unwrap();
+    ingest(&balanced_ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    let balanced = EventCountBalanced {
+        target_events: per_interval_target,
+    };
+    M1Indexer::with_strategy(&balanced)
+        .run_epoch(&balanced_ledger, &workload.keys(), Interval::new(0, t_max))
+        .unwrap();
+
+    // Dense early window, where zipf piles up the events.
+    let tau = Interval::new(0, t_max / 15);
+    let mut g = c.benchmark_group("ablation/partition_zipf_dense_window");
+    g.sample_size(20);
+    g.bench_function("fixed-u", |b| {
+        b.iter(|| {
+            ferry_query(&M1Engine::default(), &fixed_ledger, tau)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
+    g.bench_function("count-balanced", |b| {
+        b.iter(|| {
+            ferry_query(&M1Engine::default(), &balanced_ledger, tau)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn bench_parallel_query(c: &mut Criterion) {
+    // Extension beyond the paper: per-key retrieval fans out over threads.
+    use temporal_core::parallel::ferry_query_parallel;
+    let ctx = Ctx::with_scale(SCALE);
+    let id = DatasetId::Ds1;
+    let t_max = ctx.t_max(id);
+    let u = ctx.scale_time(id, 2000);
+    let ledger = ctx
+        .m1_ledger(id, IngestMode::MultiEvent, u)
+        .expect("m1 fixture");
+    let tau = Interval::new(t_max - t_max / 15, t_max);
+
+    let mut g = c.benchmark_group("ablation/parallel_tqf_late");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(format!("workers-{workers}"), |b| {
+            b.iter(|| {
+                ferry_query_parallel(&TqfEngine, &ledger, tau, workers)
+                    .unwrap()
+                    .records
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lazy_vs_eager_ghfk,
+    bench_block_cache,
+    bench_partition_strategies,
+    bench_parallel_query
+);
+criterion_main!(benches);

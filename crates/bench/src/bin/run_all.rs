@@ -1,0 +1,27 @@
+//! Regenerate every paper table in sequence (Tables I–IV).
+type TableRun = fn(&temporal_bench::Ctx) -> fabric_ledger::Result<String>;
+
+fn main() {
+    let ctx = temporal_bench::Ctx::from_env();
+    let runs: Vec<(&str, TableRun)> = vec![
+        ("Table I", temporal_bench::tables::table1::run),
+        ("Table II", temporal_bench::tables::table2::run),
+        ("Table III", temporal_bench::tables::table3::run),
+        ("Table IV", temporal_bench::tables::table4::run),
+        ("Table V (extension)", temporal_bench::tables::table5::run),
+    ];
+    let mut failed = false;
+    for (name, run) in runs {
+        eprintln!("=== {name} ===");
+        match run(&ctx) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

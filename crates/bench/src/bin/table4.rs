@@ -1,0 +1,11 @@
+//! Regenerate paper Table 4. See crate docs for scaling.
+fn main() {
+    let ctx = temporal_bench::Ctx::from_env();
+    match temporal_bench::tables::table4::run(&ctx) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

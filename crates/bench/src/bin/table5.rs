@@ -1,0 +1,11 @@
+//! Regenerate extension Table V (read/write-set workload). See crate docs.
+fn main() {
+    let ctx = temporal_bench::Ctx::from_env();
+    match temporal_bench::tables::table5::run(&ctx) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("table5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

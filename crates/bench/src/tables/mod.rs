@@ -1,0 +1,8 @@
+//! One module per paper table. Each `run` returns the rendered report and
+//! saves a CSV under `target/bench-data/results/`.
+
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,151 @@
+//! Table I — join performance: Model M1 vs TQF vs Model M2.
+//!
+//! Reproduces the paper's headline comparison: the temporal-join time (and
+//! GHFK time / call counts) for nine query windows sweeping left to right
+//! across the timeline, on DS1 (ME ingestion, with M2 at u=2K and u=50K),
+//! DS2 (ME) and DS3 (SE).
+
+use fabric_ledger::{Ledger, Result};
+use fabric_workload::dataset::DatasetId;
+use fabric_workload::ingest::IngestMode;
+use temporal_core::join::ferry_query;
+use temporal_core::m1::M1Engine;
+use temporal_core::m2::M2Engine;
+use temporal_core::tqf::TqfEngine;
+use temporal_core::TemporalEngine;
+
+use crate::harness::{fmt_secs, Ctx, TableOut};
+
+struct Cell {
+    join_wall: std::time::Duration,
+    ghfk_wall: std::time::Duration,
+    ghfk_calls: u64,
+    blocks: u64,
+    sim_secs: f64,
+    records: usize,
+}
+
+fn run_engine(
+    ctx: &Ctx,
+    engine: &dyn TemporalEngine,
+    ledger: &Ledger,
+    tau: temporal_core::Interval,
+) -> Result<Cell> {
+    let outcome = ferry_query(engine, ledger, tau)?;
+    Ok(Cell {
+        join_wall: outcome.stats.wall,
+        ghfk_wall: outcome.retrieval_wall,
+        ghfk_calls: outcome.stats.ghfk_calls(),
+        blocks: outcome.stats.blocks_deserialized(),
+        sim_secs: ctx.sim.simulate(&outcome.stats),
+        records: outcome.records.len(),
+    })
+}
+
+/// Run the full Table I reproduction.
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let mut report = String::new();
+    report.push_str(&format!(
+        "# Table I — M1 vs TQF vs M2 (scale 1/{})\n\n",
+        ctx.scale
+    ));
+    let mut csv = TableOut::new(&[
+        "dataset", "mode", "engine", "tau_start", "tau_end", "join_s", "ghfk_s", "ghfk_calls",
+        "blocks_deserialized", "sim_s", "records",
+    ]);
+
+    for (id, mode, m2_us) in [
+        (DatasetId::Ds1, IngestMode::MultiEvent, vec![2000u64, 50_000]),
+        (DatasetId::Ds2, IngestMode::MultiEvent, vec![2000]),
+        (DatasetId::Ds3, IngestMode::SingleEvent, vec![2000]),
+    ] {
+        let u_index = ctx.scale_time(id, 2000);
+        eprintln!("[table1] building ledgers for {id} ({mode}) ...");
+        let m1_ledger = ctx.m1_ledger(id, mode, u_index)?;
+        let m2_ledgers: Vec<(u64, Ledger)> = m2_us
+            .iter()
+            .map(|&u_paper| {
+                let u = ctx.scale_time(id, u_paper);
+                ctx.m2_ledger(id, mode, u).map(|l| (u_paper, l))
+            })
+            .collect::<Result<_>>()?;
+
+        let mut headers = vec![
+            "Query Interval".to_string(),
+            format!("M1(u={u_index}) Join", ),
+            "M1 GHFK (calls)".to_string(),
+            "TQF Join".to_string(),
+            "TQF GHFK (calls)".to_string(),
+        ];
+        for (u_paper, _) in &m2_ledgers {
+            headers.push(format!("M2(u≈{u_paper}) Join"));
+            headers.push("M2 GHFK (calls)".to_string());
+        }
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = TableOut::new(&header_refs);
+
+        for tau in ctx.table1_windows(id) {
+            eprintln!("[table1] {id} tau={tau} ...");
+            let mut row = vec![tau.to_string()];
+            let mut record_counts = Vec::new();
+            let push_cell = |cell: &Cell, row: &mut Vec<String>| {
+                row.push(format!("{} (sim {:.1}s)", fmt_secs(cell.join_wall), cell.sim_secs));
+                row.push(format!(
+                    "{} ({}) [{} blk]",
+                    fmt_secs(cell.ghfk_wall),
+                    cell.ghfk_calls,
+                    cell.blocks
+                ));
+            };
+
+            let m1 = run_engine(ctx, &M1Engine::default(), &m1_ledger, tau)?;
+            push_cell(&m1, &mut row);
+            record_counts.push(m1.records);
+            csv.row(vec![
+                id.to_string(), mode.to_string(), "M1".into(),
+                tau.start.to_string(), tau.end.to_string(),
+                m1.join_wall.as_secs_f64().to_string(), m1.ghfk_wall.as_secs_f64().to_string(),
+                m1.ghfk_calls.to_string(), m1.blocks.to_string(),
+                format!("{:.3}", m1.sim_secs), m1.records.to_string(),
+            ]);
+
+            // TQF runs against the same base data (M1 leaves it untouched).
+            let tqf = run_engine(ctx, &TqfEngine, &m1_ledger, tau)?;
+            push_cell(&tqf, &mut row);
+            record_counts.push(tqf.records);
+            csv.row(vec![
+                id.to_string(), mode.to_string(), "TQF".into(),
+                tau.start.to_string(), tau.end.to_string(),
+                tqf.join_wall.as_secs_f64().to_string(), tqf.ghfk_wall.as_secs_f64().to_string(),
+                tqf.ghfk_calls.to_string(), tqf.blocks.to_string(),
+                format!("{:.3}", tqf.sim_secs), tqf.records.to_string(),
+            ]);
+
+            for (u_paper, ledger) in &m2_ledgers {
+                let u = ctx.scale_time(id, *u_paper);
+                let m2 = run_engine(ctx, &M2Engine { u }, ledger, tau)?;
+                push_cell(&m2, &mut row);
+                record_counts.push(m2.records);
+                csv.row(vec![
+                    id.to_string(), mode.to_string(), format!("M2(u={u_paper})"),
+                    tau.start.to_string(), tau.end.to_string(),
+                    m2.join_wall.as_secs_f64().to_string(), m2.ghfk_wall.as_secs_f64().to_string(),
+                    m2.ghfk_calls.to_string(), m2.blocks.to_string(),
+                    format!("{:.3}", m2.sim_secs), m2.records.to_string(),
+                ]);
+            }
+            // Cross-engine agreement check: all engines must compute the
+            // same join.
+            assert!(
+                record_counts.windows(2).all(|w| w[0] == w[1]),
+                "engines disagree on {id} {tau}: {record_counts:?}"
+            );
+            table.row(row);
+        }
+        report.push_str(&format!("## Dataset {id}, ingestion with {mode}\n\n"));
+        report.push_str(&table.to_markdown());
+        report.push('\n');
+    }
+    ctx.save_result("table1.csv", &csv.to_csv());
+    Ok(report)
+}

@@ -1,0 +1,131 @@
+//! Table IV — cost of accessing *original* states through Model-M2 data.
+//!
+//! DS1 (ME) ingested with M2 at u ∈ {2K, 10K, 50K, 75K}. Measures 100K
+//! GetState-Base calls (with the number of underlying GetState probes —
+//! the paper's bracketed counts) and 2K GHFK-Base calls, against plain
+//! GetState / GHFK on untransformed base data. Call counts shrink with the
+//! scale factor.
+
+use std::time::Instant;
+
+use fabric_ledger::Result;
+use fabric_workload::dataset::DatasetId;
+use fabric_workload::ingest::IngestMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_core::base_api::M2BaseApi;
+
+use crate::harness::{fmt_secs, Ctx, TableOut};
+
+/// The paper's `u` values for this table.
+pub const PAPER_US: [u64; 4] = [2000, 10_000, 50_000, 75_000];
+
+/// Run the Table IV reproduction.
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let id = DatasetId::Ds1;
+    let workload = ctx.workload(id);
+    let keys = workload.keys();
+    let t_max = workload.params.t_max;
+    let get_state_calls = (100_000 / ctx.scale as u64).max(1000);
+    let ghfk_calls = (2000 / ctx.scale as u64).max(50);
+
+    let mut table = TableOut::new(&[
+        "Index Interval Length (u)",
+        &format!("GetState-Base Time ({get_state_calls} calls)"),
+        "GetState probes",
+        &format!("GHFK-Base Time ({ghfk_calls} calls)"),
+        "GHFK-Base blocks",
+    ]);
+    let mut csv = TableOut::new(&[
+        "u_paper", "u_scaled", "get_state_base_s", "probes", "ghfk_base_s", "ghfk_blocks",
+        "get_state_calls", "ghfk_calls",
+    ]);
+
+    for u_paper in PAPER_US {
+        let u = ctx.scale_time(id, u_paper);
+        eprintln!("[table4] building M2 ledger u={u} ...");
+        let ledger = ctx.m2_ledger(id, IngestMode::MultiEvent, u)?;
+        let api = M2BaseApi::new(u, t_max);
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let before = ledger.stats();
+        let t0 = Instant::now();
+        let mut probes = 0u64;
+        for _ in 0..get_state_calls {
+            let key = keys[rng.gen_range(0..keys.len())];
+            probes += api.get_state_base(&ledger, key)?.probes;
+        }
+        let get_state_wall = t0.elapsed();
+        debug_assert_eq!(ledger.stats().delta(&before).get_state_calls, probes);
+
+        let before = ledger.stats();
+        let t0 = Instant::now();
+        for _ in 0..ghfk_calls {
+            let key = keys[rng.gen_range(0..keys.len())];
+            api.ghfk_base(&ledger, key)?;
+        }
+        let ghfk_wall = t0.elapsed();
+        let ghfk_blocks = ledger.stats().delta(&before).blocks_deserialized;
+
+        table.row(vec![
+            format!("{u_paper} (scaled {u})"),
+            fmt_secs(get_state_wall),
+            format!("{probes}"),
+            fmt_secs(ghfk_wall),
+            ghfk_blocks.to_string(),
+        ]);
+        csv.row(vec![
+            u_paper.to_string(),
+            u.to_string(),
+            get_state_wall.as_secs_f64().to_string(),
+            probes.to_string(),
+            ghfk_wall.as_secs_f64().to_string(),
+            ghfk_blocks.to_string(),
+            get_state_calls.to_string(),
+            ghfk_calls.to_string(),
+        ]);
+    }
+
+    // Reference row: plain GetState / GHFK on base data.
+    eprintln!("[table4] base-data reference ...");
+    let base = ctx.base_ledger(id, IngestMode::MultiEvent)?;
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    for _ in 0..get_state_calls {
+        let key = keys[rng.gen_range(0..keys.len())];
+        base.get_state(&key.key())?;
+    }
+    let base_get = t0.elapsed();
+    let before = base.stats();
+    let t0 = Instant::now();
+    for _ in 0..ghfk_calls {
+        let key = keys[rng.gen_range(0..keys.len())];
+        base.get_history_for_key(&key.key())?.collect_all()?;
+    }
+    let base_ghfk = t0.elapsed();
+    let base_blocks = base.stats().delta(&before).blocks_deserialized;
+    table.row(vec![
+        "base data (no M2)".into(),
+        fmt_secs(base_get),
+        get_state_calls.to_string(),
+        fmt_secs(base_ghfk),
+        base_blocks.to_string(),
+    ]);
+    csv.row(vec![
+        "0".into(),
+        "0".into(),
+        base_get.as_secs_f64().to_string(),
+        get_state_calls.to_string(),
+        base_ghfk.as_secs_f64().to_string(),
+        base_blocks.to_string(),
+        get_state_calls.to_string(),
+        ghfk_calls.to_string(),
+    ]);
+
+    ctx.save_result("table4.csv", &csv.to_csv());
+    Ok(format!(
+        "# Table IV — GetState-Base / GHFK-Base vs u (DS1, ME, scale 1/{})\n\n{}",
+        ctx.scale,
+        table.to_markdown()
+    ))
+}

@@ -1,0 +1,504 @@
+//! Command implementations for `tfq`.
+
+use fabric_ledger::{Ledger, LedgerConfig};
+use fabric_workload::dataset::{self, DatasetId};
+use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
+use fabric_workload::{EntityId, Event};
+use temporal_core::interval::Interval;
+use temporal_core::join::ferry_query;
+use temporal_core::m1::{read_meta, M1Engine, M1Indexer};
+use temporal_core::m2::{M2Encoder, M2Engine};
+use temporal_core::partition::FixedLength;
+use temporal_core::tqf::TqfEngine;
+use temporal_core::TemporalEngine;
+
+use crate::args::Args;
+
+type CliResult = Result<(), String>;
+
+const USAGE: &str = "usage: tfq <command> ...
+  demo    <dir> [ds1|ds2|ds3] [--scale N] [--mode se|me] [--m2-u U]
+  info    <dir>
+  verify  <dir>
+  block   <dir> <number>
+  history <dir> <key>
+  tx      <dir> <txid-hex>
+  events  <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
+  join    <dir> <t1> <t2>       [--engine tqf|m1|m2] [--u U]
+  explain <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
+  index   <dir> --u U [--from T1] [--to T2]
+  backup  <dir> <dest-dir>
+  export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
+  replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]";
+
+fn led(e: fabric_ledger::Error) -> String {
+    e.to_string()
+}
+
+fn open(dir: &str) -> Result<Ledger, String> {
+    Ledger::open(dir, LedgerConfig::default()).map_err(led)
+}
+
+/// Route `argv` to a command.
+pub fn dispatch(argv: &[String]) -> CliResult {
+    let args = Args::parse(argv)?;
+    match args.pos_opt(0) {
+        Some("demo") => demo(&args),
+        Some("info") => info(&args),
+        Some("verify") => verify(&args),
+        Some("block") => block(&args),
+        Some("history") => history(&args),
+        Some("tx") => tx_lookup(&args),
+        Some("events") => events(&args),
+        Some("join") => join(&args),
+        Some("explain") => explain(&args),
+        Some("index") => index(&args),
+        Some("backup") => backup(&args),
+        Some("export-trace") => export_trace(&args),
+        Some("replay") => replay(&args),
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn demo(args: &Args) -> CliResult {
+    let dir = args.pos(1, "dir")?;
+    let id = match args.pos_opt(2).unwrap_or("ds3") {
+        "ds1" => DatasetId::Ds1,
+        "ds2" => DatasetId::Ds2,
+        "ds3" => DatasetId::Ds3,
+        other => return Err(format!("unknown dataset '{other}' (ds1|ds2|ds3)")),
+    };
+    let scale = args.opt_u64("scale")?.unwrap_or(40) as u32;
+    let mode = match args.opt("mode").unwrap_or("me") {
+        "se" => IngestMode::SingleEvent,
+        "me" => IngestMode::MultiEvent,
+        other => return Err(format!("unknown mode '{other}' (se|me)")),
+    };
+    let workload = if scale <= 1 {
+        dataset::generate(id)
+    } else {
+        dataset::generate_scaled(id, scale)
+    };
+    let ledger = open(dir)?;
+    let report = match args.opt_u64("m2-u")? {
+        Some(u) => ingest(&ledger, &workload.events, mode, &M2Encoder { u }).map_err(led)?,
+        None => ingest(&ledger, &workload.events, mode, &IdentityEncoder).map_err(led)?,
+    };
+    println!(
+        "ingested {id} (scale 1/{scale}, {mode}): {} events, {} txs, {} blocks in {:?}",
+        report.events, report.txs, report.blocks, report.wall
+    );
+    println!("t_max = {}", workload.params.t_max);
+    Ok(())
+}
+
+fn info(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let stats = ledger.stats();
+    println!("height:      {}", ledger.height());
+    println!("tip hash:    {}", ledger.last_hash());
+    println!("state keys:  {}", ledger.state_db().key_count().map_err(led)?);
+    println!("pending txs: {}", ledger.pending_txs());
+    if let Some(meta) = read_meta(&ledger).map_err(led)? {
+        println!(
+            "M1 indexes:  u={}, {} epoch(s), indexed through t={}",
+            meta.u,
+            meta.epochs.len(),
+            meta.indexed_to()
+        );
+    } else {
+        println!("M1 indexes:  none");
+    }
+    println!(
+        "since open:  {} blocks written, {} deserialized",
+        stats.blocks_written, stats.blocks_deserialized
+    );
+    Ok(())
+}
+
+fn verify(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let started = std::time::Instant::now();
+    let tip = ledger.verify_chain().map_err(|e| format!("FAILED: {e}"))?;
+    println!(
+        "ok: {} blocks, every hash chain link, data hash and tx id verified in {:?}",
+        ledger.height(),
+        started.elapsed()
+    );
+    println!("tip: {tip}");
+    Ok(())
+}
+
+fn block(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let num: u64 = args
+        .pos(2, "number")?
+        .parse()
+        .map_err(|_| "block number must be an integer".to_string())?;
+    let block = ledger.get_block(num).map_err(led)?;
+    println!("block {num}");
+    println!("  hash:      {}", block.hash());
+    println!("  prev hash: {}", block.header.prev_hash);
+    println!("  data hash: {}", block.header.data_hash);
+    println!("  txs:       {}", block.tx_count());
+    for (i, tx) in block.txs.iter().enumerate() {
+        println!(
+            "  tx {i}: id={} ts={} reads={} writes={} [{:?}]",
+            tx.id.0,
+            tx.timestamp,
+            tx.reads.len(),
+            tx.writes.len(),
+            block.validation[i]
+        );
+        for w in &tx.writes {
+            let desc = match &w.value {
+                Some(v) => format!("{} bytes", v.len()),
+                None => "delete".to_string(),
+            };
+            println!("      write {} = {desc}", String::from_utf8_lossy(&w.key));
+        }
+    }
+    Ok(())
+}
+
+fn history(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let key = args.pos(2, "key")?;
+    let mut iter = ledger.get_history_for_key(key.as_bytes()).map_err(led)?;
+    let mut n = 0;
+    while let Some(state) = iter.next().map_err(led)? {
+        n += 1;
+        let rendered = match &state.value {
+            Some(value) => match EntityId::from_key(key.as_bytes())
+                .and_then(|id| Event::decode_value(id, value))
+            {
+                Some(ev) => format!("{:?} {} @ t={}", ev.kind, ev.target, ev.time),
+                None => format!("{} bytes", value.len()),
+            },
+            None => "delete".to_string(),
+        };
+        println!(
+            "block {:>6} tx {:>3} ts {:>8}: {rendered}",
+            state.block_num, state.tx_num, state.timestamp
+        );
+    }
+    println!("{n} state(s)");
+    Ok(())
+}
+
+fn backup(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let dest = args.pos(2, "dest-dir")?;
+    let started = std::time::Instant::now();
+    ledger.backup(dest).map_err(led)?;
+    println!(
+        "backed up {} block(s) to {dest} in {:?}",
+        ledger.height(),
+        started.elapsed()
+    );
+    Ok(())
+}
+
+fn export_trace(args: &Args) -> CliResult {
+    let out = args.pos(1, "out.csv")?;
+    let id = match args.pos_opt(2).unwrap_or("ds3") {
+        "ds1" => DatasetId::Ds1,
+        "ds2" => DatasetId::Ds2,
+        "ds3" => DatasetId::Ds3,
+        other => return Err(format!("unknown dataset '{other}' (ds1|ds2|ds3)")),
+    };
+    let scale = args.opt_u64("scale")?.unwrap_or(40) as u32;
+    let workload = if scale <= 1 {
+        dataset::generate(id)
+    } else {
+        dataset::generate_scaled(id, scale)
+    };
+    fabric_workload::trace::save_trace(&workload.events, out).map_err(|e| e.to_string())?;
+    println!("wrote {} events to {out}", workload.events.len());
+    Ok(())
+}
+
+fn replay(args: &Args) -> CliResult {
+    let dir = args.pos(1, "dir")?;
+    let trace_path = args.pos(2, "trace.csv")?;
+    let mode = match args.opt("mode").unwrap_or("me") {
+        "se" => IngestMode::SingleEvent,
+        "me" => IngestMode::MultiEvent,
+        other => return Err(format!("unknown mode '{other}' (se|me)")),
+    };
+    let mut events = fabric_workload::trace::load_trace(trace_path).map_err(|e| e.to_string())?;
+    events.sort_by_key(|e| (e.time, e.subject));
+    let ledger = open(dir)?;
+    let report = match args.opt_u64("m2-u")? {
+        Some(u) => ingest(&ledger, &events, mode, &M2Encoder { u }).map_err(led)?,
+        None => ingest(&ledger, &events, mode, &IdentityEncoder).map_err(led)?,
+    };
+    println!(
+        "replayed {} events as {} txs / {} blocks in {:?}",
+        report.events, report.txs, report.blocks, report.wall
+    );
+    Ok(())
+}
+
+fn tx_lookup(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let id_hex = args.pos(2, "txid-hex")?;
+    let digest = fabric_ledger::Digest::from_hex(id_hex)
+        .ok_or_else(|| "txid must be 64 hex chars".to_string())?;
+    match ledger
+        .get_transaction(&fabric_ledger::TxId(digest))
+        .map_err(led)?
+    {
+        Some((tx, block_num, tx_num, code)) => {
+            println!("found in block {block_num}, position {tx_num} [{code:?}]");
+            println!("  timestamp: {}", tx.timestamp);
+            println!("  reads:     {}", tx.reads.len());
+            for w in &tx.writes {
+                let desc = match &w.value {
+                    Some(v) => format!("{} bytes", v.len()),
+                    None => "delete".to_string(),
+                };
+                println!("  write {} = {desc}", String::from_utf8_lossy(&w.key));
+            }
+            Ok(())
+        }
+        None => Err("transaction not found".to_string()),
+    }
+}
+
+fn pick_engine(args: &Args) -> Result<Box<dyn TemporalEngine + Sync>, String> {
+    match args.opt("engine").unwrap_or("tqf") {
+        "tqf" => Ok(Box::new(TqfEngine)),
+        "m1" => Ok(Box::new(M1Engine::default())),
+        "m2" => {
+            let u = args
+                .opt_u64("u")?
+                .ok_or_else(|| "--engine m2 requires --u".to_string())?;
+            Ok(Box::new(M2Engine { u }))
+        }
+        other => Err(format!("unknown engine '{other}' (tqf|m1|m2)")),
+    }
+}
+
+fn parse_tau(args: &Args, first_pos: usize) -> Result<Interval, String> {
+    let t1: u64 = args
+        .pos(first_pos, "t1")?
+        .parse()
+        .map_err(|_| "t1 must be an integer".to_string())?;
+    let t2: u64 = args
+        .pos(first_pos + 1, "t2")?
+        .parse()
+        .map_err(|_| "t2 must be an integer".to_string())?;
+    if t2 <= t1 {
+        return Err("t2 must exceed t1".to_string());
+    }
+    Ok(Interval::new(t1, t2))
+}
+
+fn events(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
+        .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
+    let tau = parse_tau(args, 3)?;
+    let engine = pick_engine(args)?;
+    let before = ledger.stats();
+    let started = std::time::Instant::now();
+    let events = engine.events_for_key(&ledger, key, tau).map_err(led)?;
+    let wall = started.elapsed();
+    for ev in &events {
+        println!("t={:>8} {:?} {}", ev.time, ev.kind, ev.target);
+    }
+    let d = ledger.stats().delta(&before);
+    println!(
+        "{} event(s) via {} in {wall:?} — {} GHFK call(s), {} block(s) deserialized",
+        events.len(),
+        engine.name(),
+        d.ghfk_calls,
+        d.blocks_deserialized
+    );
+    Ok(())
+}
+
+fn join(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let tau = parse_tau(args, 2)?;
+    let engine = pick_engine(args)?;
+    let outcome = ferry_query(engine.as_ref(), &ledger, tau).map_err(led)?;
+    for r in outcome.records.iter().take(20) {
+        println!("shipment {} on truck {} during {}", r.shipment, r.truck, r.span);
+    }
+    if outcome.records.len() > 20 {
+        println!("... and {} more", outcome.records.len() - 20);
+    }
+    println!(
+        "{} record(s) via {} in {:?} — {} GHFK call(s), {} block(s) deserialized",
+        outcome.records.len(),
+        engine.name(),
+        outcome.stats.wall,
+        outcome.stats.ghfk_calls(),
+        outcome.stats.blocks_deserialized()
+    );
+    Ok(())
+}
+
+fn explain(args: &Args) -> CliResult {
+    use temporal_core::explain::ExplainQuery;
+    let ledger = open(args.pos(1, "dir")?)?;
+    let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
+        .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
+    let tau = parse_tau(args, 3)?;
+    let plan = match args.opt("engine").unwrap_or("tqf") {
+        "tqf" => TqfEngine.explain(&ledger, key, tau),
+        "m1" => M1Engine::default().explain(&ledger, key, tau),
+        "m2" => {
+            let u = args
+                .opt_u64("u")?
+                .ok_or_else(|| "--engine m2 requires --u".to_string())?;
+            M2Engine { u }.explain(&ledger, key, tau)
+        }
+        other => return Err(format!("unknown engine '{other}' (tqf|m1|m2)")),
+    }
+    .map_err(led)?;
+    print!("{}", plan.render());
+    println!(
+        "total: {} GHFK call(s), ≤{} block(s)",
+        plan.ghfk_calls(),
+        plan.max_blocks()
+    );
+    Ok(())
+}
+
+fn index(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let u = args
+        .opt_u64("u")?
+        .ok_or_else(|| "index requires --u".to_string())?;
+    let from = match args.opt_u64("from")? {
+        Some(t) => t,
+        None => read_meta(&ledger).map_err(led)?.map_or(0, |m| m.indexed_to()),
+    };
+    let to = match args.opt_u64("to")? {
+        Some(t) => t,
+        None => {
+            // Default: index up to the newest event time seen in state-db.
+            let rows = ledger.get_state_by_range(None, None).map_err(led)?;
+            let mut max_t = 0;
+            for (k, vv) in rows {
+                if let Some(id) = EntityId::from_key(&k) {
+                    if let Some(ev) = Event::decode_value(id, &vv.value) {
+                        max_t = max_t.max(ev.time);
+                    }
+                }
+            }
+            max_t
+        }
+    };
+    if to <= from {
+        return Err(format!("nothing to index (from={from}, to={to})"));
+    }
+    let keys: Vec<EntityId> = ledger
+        .get_state_by_range(None, None)
+        .map_err(led)?
+        .into_iter()
+        .filter_map(|(k, _)| EntityId::from_key(&k))
+        .collect();
+    let strategy = FixedLength { u };
+    let report = M1Indexer::fixed(&strategy)
+        .run_epoch(&ledger, &keys, Interval::new(from, to))
+        .map_err(led)?;
+    println!(
+        "indexed ({from}, {to}] for {} key(s): {} index pair(s), {} tx(s), {} block(s) read, {:?}",
+        report.keys,
+        report.indexes,
+        report.txs,
+        report.stats.blocks_deserialized(),
+        report.stats.wall
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> CliResult {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "tfq-cmd-test-{}-{tag}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            TempDir(p)
+        }
+        fn s(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("usage"), "{err}");
+        let err = run(&["bogus"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn full_lifecycle_through_dispatch() {
+        let dir = TempDir::new("lifecycle");
+        run(&["demo", dir.s(), "ds3", "--scale", "300"]).unwrap();
+        run(&["info", dir.s()]).unwrap();
+        run(&["verify", dir.s()]).unwrap();
+        run(&["block", dir.s(), "0"]).unwrap();
+        run(&["history", dir.s(), "S00000"]).unwrap();
+        run(&["index", dir.s(), "--u", "2000"]).unwrap();
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["explain", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["join", dir.s(), "0", "5000", "--engine", "tqf"]).unwrap();
+    }
+
+    #[test]
+    fn trace_roundtrip_through_dispatch() {
+        let dir = TempDir::new("trace");
+        let csv = std::env::temp_dir().join(format!("tfq-trace-{}.csv", std::process::id()));
+        run(&["export-trace", csv.to_str().unwrap(), "ds3", "--scale", "300"]).unwrap();
+        run(&["replay", dir.s(), csv.to_str().unwrap(), "--m2-u", "2000"]).unwrap();
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m2", "--u", "2000"]).unwrap();
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn backup_through_dispatch() {
+        let dir = TempDir::new("bk-src");
+        let dst = TempDir::new("bk-dst");
+        run(&["demo", dir.s(), "ds3", "--scale", "400"]).unwrap();
+        run(&["backup", dir.s(), dst.s()]).unwrap();
+        run(&["verify", dst.s()]).unwrap();
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        let dir = TempDir::new("bad");
+        run(&["demo", dir.s(), "ds3", "--scale", "400"]).unwrap();
+        assert!(run(&["demo", dir.s(), "ds9"]).is_err());
+        assert!(run(&["block", dir.s(), "notanumber"]).is_err());
+        assert!(run(&["events", dir.s(), "BADKEY", "0", "10"]).is_err());
+        assert!(run(&["events", dir.s(), "S00000", "10", "10"]).is_err());
+        assert!(run(&["events", dir.s(), "S00000", "0", "10", "--engine", "m2"]).is_err());
+        assert!(run(&["index", dir.s()]).is_err());
+        assert!(run(&["tx", dir.s(), "nothex"]).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Analytics over temporal query results — the "valuable business
+//! insights" layer the paper's introduction motivates (lineage,
+//! visualization, reporting, compliance).
+//!
+//! Everything here is pure post-processing of [`FerryRecord`]s and
+//! [`Stay`]s produced by any engine, so the analyses are
+//! engine-independent by construction.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fabric_workload::EntityId;
+
+use crate::join::{FerryRecord, Span, Stay};
+
+/// Total time each shipment spent on any truck within the analysed window
+/// (overlapping rides on the same truck are merged before summing).
+pub fn transit_time_per_shipment(records: &[FerryRecord]) -> BTreeMap<EntityId, u64> {
+    let mut spans_by_shipment: HashMap<EntityId, Vec<Span>> = HashMap::new();
+    for r in records {
+        spans_by_shipment.entry(r.shipment).or_default().push(r.span);
+    }
+    spans_by_shipment
+        .into_iter()
+        .map(|(shipment, spans)| (shipment, merged_duration(spans)))
+        .collect()
+}
+
+/// Total busy time per truck (time with ≥1 shipment aboard).
+pub fn truck_utilization(records: &[FerryRecord]) -> BTreeMap<EntityId, u64> {
+    let mut spans_by_truck: HashMap<EntityId, Vec<Span>> = HashMap::new();
+    for r in records {
+        spans_by_truck.entry(r.truck).or_default().push(r.span);
+    }
+    spans_by_truck
+        .into_iter()
+        .map(|(truck, spans)| (truck, merged_duration(spans)))
+        .collect()
+}
+
+/// Sum of span lengths after merging overlaps (a closed span `[a, a]`
+/// counts 1 tick).
+fn merged_duration(mut spans: Vec<Span>) -> u64 {
+    spans.sort();
+    let mut total = 0u64;
+    let mut current: Option<Span> = None;
+    for s in spans {
+        match &mut current {
+            None => current = Some(s),
+            Some(c) if s.from <= c.to.saturating_add(1) => c.to = c.to.max(s.to),
+            Some(c) => {
+                total += c.to - c.from + 1;
+                current = Some(s);
+            }
+        }
+    }
+    if let Some(c) = current {
+        total += c.to - c.from + 1;
+    }
+    total
+}
+
+/// Pairs of shipments that shared a truck at the same time, with the
+/// overlap span — the co-location/compliance query from the audit
+/// example, generalised. Pairs are reported once (`a < b`).
+pub fn co_located_shipments(records: &[FerryRecord]) -> Vec<(EntityId, EntityId, EntityId, Span)> {
+    let mut by_truck: HashMap<EntityId, Vec<&FerryRecord>> = HashMap::new();
+    for r in records {
+        by_truck.entry(r.truck).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for (truck, rides) in by_truck {
+        for (i, a) in rides.iter().enumerate() {
+            for b in rides.iter().skip(i + 1) {
+                if a.shipment == b.shipment {
+                    continue;
+                }
+                if let Some(overlap) = a.span.intersect(&b.span) {
+                    let (x, y) = if a.shipment < b.shipment {
+                        (a.shipment, b.shipment)
+                    } else {
+                        (b.shipment, a.shipment)
+                    };
+                    out.push((x, y, truck, overlap));
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Dwell report: per subject, the fraction of the window spent *inside*
+/// some carrier vs. idle, derived from its stays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dwell {
+    /// Ticks inside a carrier.
+    pub carried: u64,
+    /// Ticks idle (window length − carried).
+    pub idle: u64,
+}
+
+/// Compute [`Dwell`] for one subject's stays over a window of
+/// `window_len` ticks.
+pub fn dwell(stays: &[Stay], window_len: u64) -> Dwell {
+    let carried = merged_duration(stays.iter().map(|s| s.span).collect());
+    Dwell {
+        carried: carried.min(window_len),
+        idle: window_len.saturating_sub(carried),
+    }
+}
+
+/// The `n` busiest trucks by utilization, descending.
+pub fn top_trucks(records: &[FerryRecord], n: usize) -> Vec<(EntityId, u64)> {
+    let mut v: Vec<(EntityId, u64)> = truck_utilization(records).into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: u32, t: u32, from: u64, to: u64) -> FerryRecord {
+        FerryRecord {
+            shipment: EntityId::shipment(s),
+            truck: EntityId::truck(t),
+            span: Span { from, to },
+        }
+    }
+
+    #[test]
+    fn transit_time_merges_overlaps() {
+        let records = vec![rec(1, 0, 10, 20), rec(1, 1, 15, 30), rec(2, 0, 5, 5)];
+        let tt = transit_time_per_shipment(&records);
+        // Shipment 1: [10,30] merged = 21 ticks; shipment 2: 1 tick.
+        assert_eq!(tt[&EntityId::shipment(1)], 21);
+        assert_eq!(tt[&EntityId::shipment(2)], 1);
+    }
+
+    #[test]
+    fn transit_time_separate_spans_sum() {
+        let records = vec![rec(1, 0, 10, 19), rec(1, 0, 30, 39)];
+        let tt = transit_time_per_shipment(&records);
+        assert_eq!(tt[&EntityId::shipment(1)], 20);
+    }
+
+    #[test]
+    fn adjacent_spans_merge() {
+        // [10,19] and [20,29] are contiguous in discrete time.
+        assert_eq!(
+            merged_duration(vec![Span { from: 10, to: 19 }, Span { from: 20, to: 29 }]),
+            20
+        );
+    }
+
+    #[test]
+    fn utilization_counts_busy_time_once() {
+        // Two shipments on the same truck at the same time: busy time
+        // counted once.
+        let records = vec![rec(1, 7, 10, 20), rec(2, 7, 10, 20)];
+        let ut = truck_utilization(&records);
+        assert_eq!(ut[&EntityId::truck(7)], 11);
+    }
+
+    #[test]
+    fn co_location_finds_overlapping_pairs() {
+        let records = vec![
+            rec(1, 0, 10, 20),
+            rec(2, 0, 15, 25), // overlaps 1 on truck 0
+            rec(3, 0, 30, 40), // disjoint
+            rec(4, 1, 15, 25), // other truck
+        ];
+        let pairs = co_located_shipments(&records);
+        assert_eq!(pairs.len(), 1);
+        let (a, b, truck, span) = pairs[0];
+        assert_eq!(a, EntityId::shipment(1));
+        assert_eq!(b, EntityId::shipment(2));
+        assert_eq!(truck, EntityId::truck(0));
+        assert_eq!(span, Span { from: 15, to: 20 });
+    }
+
+    #[test]
+    fn co_location_same_shipment_multiple_rides_ignored() {
+        let records = vec![rec(1, 0, 10, 20), rec(1, 0, 15, 25)];
+        assert!(co_located_shipments(&records).is_empty());
+    }
+
+    #[test]
+    fn dwell_splits_window() {
+        let stays = vec![
+            Stay {
+                target: EntityId::container(0),
+                span: Span { from: 10, to: 19 },
+            },
+            Stay {
+                target: EntityId::container(1),
+                span: Span { from: 50, to: 59 },
+            },
+        ];
+        let d = dwell(&stays, 100);
+        assert_eq!(d.carried, 20);
+        assert_eq!(d.idle, 80);
+    }
+
+    #[test]
+    fn top_trucks_orders_and_truncates() {
+        let records = vec![
+            rec(1, 0, 0, 9),   // truck 0: 10
+            rec(2, 1, 0, 99),  // truck 1: 100
+            rec(3, 2, 0, 49),  // truck 2: 50
+        ];
+        let top = top_trucks(&records, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (EntityId::truck(1), 100));
+        assert_eq!(top[1], (EntityId::truck(2), 50));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(transit_time_per_shipment(&[]).is_empty());
+        assert!(co_located_shipments(&[]).is_empty());
+        assert!(top_trucks(&[], 5).is_empty());
+        assert_eq!(dwell(&[], 100), Dwell { carried: 0, idle: 100 });
+    }
+}

@@ -1,0 +1,231 @@
+//! GetState-Base / GHFK-Base: the compatibility layer over M2 data
+//! (paper §VII-B).
+//!
+//! Model M2 transforms the keys being ingested, so chaincode that asks for
+//! key `k` finds nothing in the state database. This module simulates the
+//! base-data calls on the transformed data:
+//!
+//! * **GetState-Base(k)** — start at the indexing interval containing the
+//!   current time and probe `GetState((k, θ))` backwards interval by
+//!   interval until a state is found (the paper's "second option", which it
+//!   adopts). The smaller `u`, the more probes are needed — Table IV.
+//! * **GHFK-Base(k)** — issue `GHFK((k, θ))` for every indexing interval
+//!   from `(0, u]` up to the current one and concatenate the results
+//!   (oldest first), reproducing the base `GetHistoryForKey(k)` stream.
+
+use fabric_ledger::{HistoricalState, Ledger, Result, VersionedValue};
+use fabric_workload::EntityId;
+
+use crate::interval::Interval;
+
+/// Compatibility layer bound to a ledger ingested with
+/// [`crate::m2::M2Encoder`]`{ u }`.
+#[derive(Debug, Clone, Copy)]
+pub struct M2BaseApi {
+    /// Index-interval length used at ingestion.
+    pub u: u64,
+    /// "Current time": the probe walk starts at the interval containing
+    /// this timestamp.
+    pub now: u64,
+}
+
+/// Result of a GetState-Base call: the state (if any) plus the number of
+/// `GetState` probes it took (Table IV's bracketed counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseStateResult {
+    /// Current state of the base key, if the key exists.
+    pub state: Option<VersionedValue>,
+    /// `GetState((k, θ))` probes issued.
+    pub probes: u64,
+}
+
+impl M2BaseApi {
+    /// Create the layer for interval length `u` and current time `now`.
+    pub fn new(u: u64, now: u64) -> Self {
+        assert!(u > 0 && now > 0);
+        M2BaseApi { u, now }
+    }
+
+    /// Simulated `GetState(k)` on the base data.
+    pub fn get_state_base(&self, ledger: &Ledger, key: EntityId) -> Result<BaseStateResult> {
+        let base = key.key();
+        let mut theta = Some(Interval::grid_containing(self.now, self.u));
+        let mut probes = 0u64;
+        while let Some(t) = theta {
+            probes += 1;
+            if let Some(state) = ledger.get_state(&t.composite_key(&base))? {
+                return Ok(BaseStateResult {
+                    state: Some(state),
+                    probes,
+                });
+            }
+            theta = t.grid_prev();
+        }
+        Ok(BaseStateResult {
+            state: None,
+            probes,
+        })
+    }
+
+    /// Simulated `GetHistoryForKey(k)` on the base data: the union of the
+    /// per-interval histories, oldest interval first.
+    pub fn ghfk_base(&self, ledger: &Ledger, key: EntityId) -> Result<Vec<HistoricalState>> {
+        let base = key.key();
+        // Walk from (0, u] up to the interval containing `now`.
+        let last = Interval::grid_containing(self.now, self.u);
+        let mut out = Vec::new();
+        let mut theta = Interval::new(0, self.u);
+        loop {
+            let mut iter = ledger.get_history_for_key(&theta.composite_key(&base))?;
+            while let Some(state) = iter.next()? {
+                out.push(state);
+            }
+            if theta == last {
+                break;
+            }
+            theta = Interval::new(theta.end, theta.end + self.u);
+        }
+        Ok(out)
+    }
+
+    /// Number of grid intervals between `(0, u]` and the current one —
+    /// the GHFK-Base call fan-out.
+    pub fn interval_count(&self) -> u64 {
+        self.now.div_ceil(self.u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m2::M2Encoder;
+    use fabric_ledger::{Ledger, LedgerConfig};
+    use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
+    use fabric_workload::{Event, EventKind};
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "baseapi-test-{}-{tag}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn event(s: u32, time: u64) -> Event {
+        Event {
+            subject: EntityId::shipment(s),
+            target: EntityId::container(0),
+            time,
+            kind: EventKind::Load,
+        }
+    }
+
+    /// Shipment 0 has events at 10..=100; shipment 1 only at 10 and 20.
+    fn setup(dir: &TempDir, u: u64) -> Ledger {
+        let ledger = Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        let mut events: Vec<Event> = (1..=10).map(|i| event(0, i * 10)).collect();
+        events.push(event(1, 10));
+        events.push(event(1, 20));
+        events.sort_by_key(|e| e.time);
+        ingest(&ledger, &events, IngestMode::SingleEvent, &M2Encoder { u }).unwrap();
+        ledger
+    }
+
+    #[test]
+    fn get_state_base_finds_latest_state() {
+        let dir = TempDir::new("latest");
+        let ledger = setup(&dir, 30); // intervals (0,30],(30,60],(60,90],(90,120]
+        let api = M2BaseApi::new(30, 100);
+        let r = api.get_state_base(&ledger, EntityId::shipment(0)).unwrap();
+        // Latest event of shipment 0 is t=100 → found in (90,120] on the
+        // first probe.
+        assert_eq!(r.probes, 1);
+        let ev = Event::decode_value(EntityId::shipment(0), &r.state.unwrap().value).unwrap();
+        assert_eq!(ev.time, 100);
+    }
+
+    #[test]
+    fn get_state_base_walks_back_for_stale_keys() {
+        let dir = TempDir::new("stale");
+        let ledger = setup(&dir, 30);
+        let api = M2BaseApi::new(30, 100);
+        // Shipment 1's latest event is t=20 → probes (90,120], (60,90],
+        // (30,60], (0,30] = 4 probes.
+        let r = api.get_state_base(&ledger, EntityId::shipment(1)).unwrap();
+        assert_eq!(r.probes, 4);
+        let ev = Event::decode_value(EntityId::shipment(1), &r.state.unwrap().value).unwrap();
+        assert_eq!(ev.time, 20);
+    }
+
+    #[test]
+    fn get_state_base_missing_key_probes_all_intervals() {
+        let dir = TempDir::new("missing");
+        let ledger = setup(&dir, 30);
+        let api = M2BaseApi::new(30, 100);
+        let r = api.get_state_base(&ledger, EntityId::shipment(9)).unwrap();
+        assert!(r.state.is_none());
+        assert_eq!(r.probes, 4, "walks all the way to (0,30]");
+    }
+
+    #[test]
+    fn larger_u_needs_fewer_probes() {
+        let dir_small = TempDir::new("u-small");
+        let dir_large = TempDir::new("u-large");
+        let small = setup(&dir_small, 10);
+        let large = setup(&dir_large, 100);
+        let p_small = M2BaseApi::new(10, 100)
+            .get_state_base(&small, EntityId::shipment(1))
+            .unwrap()
+            .probes;
+        let p_large = M2BaseApi::new(100, 100)
+            .get_state_base(&large, EntityId::shipment(1))
+            .unwrap()
+            .probes;
+        assert!(p_small > p_large, "{p_small} vs {p_large}");
+        assert_eq!(p_large, 1, "u covering everything probes once");
+    }
+
+    #[test]
+    fn ghfk_base_reconstructs_full_history() {
+        let dir_m2 = TempDir::new("ghfk-m2");
+        let dir_base = TempDir::new("ghfk-base");
+        let ledger_m2 = setup(&dir_m2, 30);
+        // Reference: the same events ingested untransformed.
+        let ledger_base = Ledger::open(&dir_base.0, LedgerConfig::small_for_tests()).unwrap();
+        let mut events: Vec<Event> = (1..=10).map(|i| event(0, i * 10)).collect();
+        events.push(event(1, 10));
+        events.push(event(1, 20));
+        events.sort_by_key(|e| e.time);
+        ingest(&ledger_base, &events, IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+
+        let api = M2BaseApi::new(30, 100);
+        let got = api.ghfk_base(&ledger_m2, EntityId::shipment(0)).unwrap();
+        let want = ledger_base
+            .get_history_for_key(&EntityId::shipment(0).key())
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        assert_eq!(got.len(), want.len());
+        let got_values: Vec<_> = got.iter().map(|s| s.value.clone()).collect();
+        let want_values: Vec<_> = want.iter().map(|s| s.value.clone()).collect();
+        assert_eq!(got_values, want_values, "same states in the same order");
+    }
+
+    #[test]
+    fn interval_count_matches_walk() {
+        assert_eq!(M2BaseApi::new(30, 100).interval_count(), 4);
+        assert_eq!(M2BaseApi::new(100, 100).interval_count(), 1);
+        assert_eq!(M2BaseApi::new(2000, 150_000).interval_count(), 75);
+    }
+}

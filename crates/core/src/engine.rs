@@ -1,0 +1,64 @@
+//! The common interface all three query models implement.
+//!
+//! [`TemporalEngine`] abstracts "give me key `k`'s events inside `(ts, te]`"
+//! — the primitive the paper's evaluation exercises through the temporal
+//! join. `TQF`, `M1` and `M2` differ only in *how* they retrieve those
+//! events (and therefore in how many blocks they deserialize); every engine
+//! must return exactly the same event sets, which the integration tests
+//! assert.
+
+use fabric_ledger::{Ledger, Result};
+use fabric_workload::{EntityId, EntityKind, Event};
+
+use crate::interval::Interval;
+
+/// A strategy for answering temporal event queries on the ledger.
+pub trait TemporalEngine {
+    /// Name for reports ("TQF", "M1(u=2000)", …).
+    fn name(&self) -> String;
+
+    /// All ledger keys of `kind`, via state-db range scans.
+    fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>>;
+
+    /// Every event of `key` with time in `tau`, ascending by time.
+    fn events_for_key(
+        &self,
+        ledger: &Ledger,
+        key: EntityId,
+        tau: Interval,
+    ) -> Result<Vec<Event>>;
+}
+
+/// Decode a raw ledger value into an [`Event`] for `subject`, returning an
+/// error on malformed payloads (index metadata never reaches this path).
+pub fn decode_event(subject: EntityId, value: &[u8]) -> Result<Event> {
+    Event::decode_value(subject, value).ok_or_else(|| {
+        fabric_ledger::Error::InvalidArgument(format!(
+            "value of key {subject} is not an event payload ({} bytes)",
+            value.len()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_workload::EventKind;
+
+    #[test]
+    fn decode_event_roundtrips() {
+        let ev = Event {
+            subject: EntityId::shipment(1),
+            target: EntityId::container(2),
+            time: 99,
+            kind: EventKind::Load,
+        };
+        let decoded = decode_event(EntityId::shipment(1), &ev.encode_value()).unwrap();
+        assert_eq!(decoded, ev);
+    }
+
+    #[test]
+    fn decode_event_rejects_garbage() {
+        assert!(decode_event(EntityId::shipment(1), b"not an event").is_err());
+    }
+}

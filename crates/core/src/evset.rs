@@ -1,0 +1,144 @@
+//! `EV(k, θ)` event sets: the value stored by a Model-M1 index pair.
+//!
+//! An event set packs every event of key `k` inside interval `θ` into a
+//! single ledger value, so one `GetHistoryForKey((k,θ))` call — one block
+//! deserialization — retrieves them all. Entries carry the event time
+//! explicitly so queries can filter to the query interval without decoding
+//! the application payload.
+
+use bytes::Bytes;
+
+use fabric_ledger::codec::{put_bytes, put_u64, put_uvarint, Cursor};
+use fabric_ledger::{Error, Result};
+
+/// One event inside an event set: its time plus the original on-chain
+/// value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalEvent {
+    /// Event time (from the application payload).
+    pub time: u64,
+    /// The original value bytes as ingested by the business transaction.
+    pub value: Bytes,
+}
+
+/// An ordered set of events (ascending time).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvSet {
+    /// Events, ascending by time.
+    pub events: Vec<TemporalEvent>,
+}
+
+impl EvSet {
+    /// Wrap events (must already be in ascending time order).
+    pub fn new(events: Vec<TemporalEvent>) -> Self {
+        debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        EvSet { events }
+    }
+
+    /// `true` when the set holds no events (the paper never ingests an
+    /// index pair for an empty set).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Serialise: `[count][time u64, value bytes]*`.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(8 + self.events.len() * 24);
+        put_uvarint(&mut out, self.events.len() as u64);
+        for ev in &self.events {
+            put_u64(&mut out, ev.time);
+            put_bytes(&mut out, &ev.value);
+        }
+        Bytes::from(out)
+    }
+
+    /// Inverse of [`EvSet::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut c = Cursor::new(data, "event set");
+        let count = c.get_uvarint()?;
+        // Each event occupies ≥9 bytes on the wire; a count the remaining
+        // input cannot possibly hold is malformed. This also bounds the
+        // pre-allocation below (a hostile count must not drive a huge
+        // `with_capacity`).
+        if count > c.remaining() as u64 / 9 {
+            return Err(Error::InvalidArgument(format!(
+                "implausible event-set count {count} for {} remaining bytes",
+                c.remaining()
+            )));
+        }
+        let mut events = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let time = c.get_u64()?;
+            let value = c.get_bytes_owned()?;
+            events.push(TemporalEvent { time, value });
+        }
+        c.expect_end()?;
+        Ok(EvSet { events })
+    }
+
+    /// Events with time in `(start, end]` of `tau`.
+    pub fn filter(&self, tau: crate::interval::Interval) -> Vec<TemporalEvent> {
+        self.events
+            .iter()
+            .filter(|e| tau.contains(e.time))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn ev(time: u64, tag: &str) -> TemporalEvent {
+        TemporalEvent {
+            time,
+            value: Bytes::copy_from_slice(tag.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let set = EvSet::new(vec![ev(10, "a"), ev(20, "b"), ev(20, "c"), ev(35, "")]);
+        let decoded = EvSet::decode(&set.encode()).unwrap();
+        assert_eq!(set, decoded);
+        assert_eq!(decoded.len(), 4);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let set = EvSet::default();
+        assert!(set.is_empty());
+        assert_eq!(EvSet::decode(&set.encode()).unwrap(), set);
+    }
+
+    #[test]
+    fn filter_respects_half_open_bounds() {
+        let set = EvSet::new(vec![ev(10, "a"), ev(11, "b"), ev(20, "c"), ev(21, "d")]);
+        let hits = set.filter(Interval::new(10, 20));
+        let times: Vec<u64> = hits.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![11, 20]);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let set = EvSet::new(vec![ev(10, "payload")]);
+        let enc = set.encode();
+        for cut in 1..enc.len() {
+            assert!(EvSet::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = EvSet::new(vec![ev(1, "x")]).encode().to_vec();
+        enc.push(0);
+        assert!(EvSet::decode(&enc).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Half-open-left time intervals `(start, end]` and their key encoding.
+//!
+//! The paper writes every duration as `(t1, t2]` — left-open, right-closed
+//! — and both indexing models name on-chain keys after intervals. The
+//! composite key `(k, θ)` is encoded in fixed-width ASCII decimal
+//! (`S00042#000000002000-000000004000`) so that:
+//!
+//! * composite keys contain no `0x00` (the ledger's reserved separator),
+//! * lexicographic order equals numeric order on `start`, making
+//!   "all intervals of key `k`" a single state-db prefix scan, and
+//! * keys stay human-readable in dumps and tests.
+
+use bytes::Bytes;
+
+/// A time interval `(start, end]` on the paper's dimensionless clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Exclusive lower bound.
+    pub start: u64,
+    /// Inclusive upper bound (`end > start`).
+    pub end: u64,
+}
+
+/// Digits used for each bound in the ASCII key encoding (supports
+/// timestamps up to 10^12 − 1).
+const WIDTH: usize = 12;
+
+/// Separator between a base key and its interval suffix.
+pub const INTERVAL_SEP: u8 = b'#';
+
+impl Interval {
+    /// Construct `(start, end]`; panics if `end <= start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end > start, "empty interval ({start}, {end}]");
+        Interval { start, end }
+    }
+
+    /// `true` when `t ∈ (start, end]`.
+    pub fn contains(&self, t: u64) -> bool {
+        t > self.start && t <= self.end
+    }
+
+    /// `true` when the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (end > start).then_some(Interval { start, end })
+    }
+
+    /// Number of clock ticks covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Intervals are never empty by construction; provided for the
+    /// conventional pairing with [`Interval::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The fixed-length-`u` grid interval containing `t` (paper §VII:
+    /// `(⌊t/u⌋·u, ⌈t/u⌉·u]`). `t` must be ≥ 1 (the paper's clock starts
+    /// after 0).
+    pub fn grid_containing(t: u64, u: u64) -> Interval {
+        assert!(u > 0, "interval length u must be positive");
+        assert!(t > 0, "timestamps start at 1");
+        // For t on a grid boundary, (t-u, t] contains it (left-open).
+        let end = t.div_ceil(u) * u;
+        let end = if end == 0 { u } else { end };
+        Interval {
+            start: end - u,
+            end,
+        }
+    }
+
+    /// The previous grid interval, or `None` below zero.
+    pub fn grid_prev(&self) -> Option<Interval> {
+        let u = self.len();
+        (self.start >= u).then(|| Interval {
+            start: self.start - u,
+            end: self.start,
+        })
+    }
+
+    /// All fixed-length-`u` grid intervals overlapping `self`.
+    pub fn grid_overlapping(&self, u: u64) -> Vec<Interval> {
+        assert!(u > 0);
+        let first = Interval::grid_containing(self.start + 1, u);
+        let mut out = Vec::new();
+        let mut cur = first;
+        loop {
+            out.push(cur);
+            if cur.end >= self.end {
+                break;
+            }
+            cur = Interval {
+                start: cur.end,
+                end: cur.end + u,
+            };
+        }
+        out
+    }
+
+    /// Encode the composite ledger key `(base, self)`.
+    pub fn composite_key(&self, base: &[u8]) -> Bytes {
+        let mut out = Vec::with_capacity(base.len() + 2 + 2 * WIDTH);
+        out.extend_from_slice(base);
+        out.push(INTERVAL_SEP);
+        out.extend_from_slice(format!("{:0WIDTH$}", self.start).as_bytes());
+        out.push(b'-');
+        out.extend_from_slice(format!("{:0WIDTH$}", self.end).as_bytes());
+        Bytes::from(out)
+    }
+
+    /// The prefix selecting all composite keys of `base`.
+    pub fn key_prefix(base: &[u8]) -> Bytes {
+        let mut out = Vec::with_capacity(base.len() + 1);
+        out.extend_from_slice(base);
+        out.push(INTERVAL_SEP);
+        Bytes::from(out)
+    }
+
+    /// Split a composite key into `(base, interval)`. Returns `None` when
+    /// `key` has no valid interval suffix.
+    pub fn split_composite_key(key: &[u8]) -> Option<(&[u8], Interval)> {
+        let suffix_len = 2 * WIDTH + 1;
+        if key.len() < suffix_len + 2 {
+            return None;
+        }
+        let sep_pos = key.len() - suffix_len - 1;
+        if key[sep_pos] != INTERVAL_SEP {
+            return None;
+        }
+        let suffix = &key[sep_pos + 1..];
+        if suffix[WIDTH] != b'-' {
+            return None;
+        }
+        let start: u64 = std::str::from_utf8(&suffix[..WIDTH]).ok()?.parse().ok()?;
+        let end: u64 = std::str::from_utf8(&suffix[WIDTH + 1..]).ok()?.parse().ok()?;
+        if end <= start {
+            return None;
+        }
+        Some((&key[..sep_pos], Interval { start, end }))
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_left_open_right_closed() {
+        let i = Interval::new(10, 20);
+        assert!(!i.contains(10));
+        assert!(i.contains(11));
+        assert!(i.contains(20));
+        assert!(!i.contains(21));
+        assert!(!i.contains(0));
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = Interval::new(10, 20);
+        assert!(a.overlaps(&Interval::new(15, 25)));
+        assert!(a.overlaps(&Interval::new(0, 11)));
+        // (0,10] and (10,20] share only the boundary point 10, which
+        // belongs to the left interval; half-open algebra says disjoint
+        // only when start >= other.end.
+        assert!(!a.overlaps(&Interval::new(20, 30)));
+        assert!(!Interval::new(0, 10).overlaps(&a));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn intersect_matches_overlap() {
+        let a = Interval::new(10, 20);
+        assert_eq!(a.intersect(&Interval::new(15, 25)), Some(Interval::new(15, 20)));
+        assert_eq!(a.intersect(&Interval::new(20, 30)), None);
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn grid_containing_handles_boundaries() {
+        // (0,2K] contains 1..=2000; 2000 is the right edge.
+        assert_eq!(Interval::grid_containing(1, 2000), Interval::new(0, 2000));
+        assert_eq!(Interval::grid_containing(2000, 2000), Interval::new(0, 2000));
+        assert_eq!(Interval::grid_containing(2001, 2000), Interval::new(2000, 4000));
+        assert_eq!(Interval::grid_containing(150_000, 2000), Interval::new(148_000, 150_000));
+    }
+
+    #[test]
+    fn grid_prev_walks_to_origin() {
+        let i = Interval::new(4000, 6000);
+        assert_eq!(i.grid_prev(), Some(Interval::new(2000, 4000)));
+        assert_eq!(Interval::new(0, 2000).grid_prev(), None);
+    }
+
+    #[test]
+    fn grid_overlapping_covers_query() {
+        // Query (0,10K] with u=2K → 5 grid intervals (paper's example).
+        let tau = Interval::new(0, 10_000);
+        let grid = tau.grid_overlapping(2000);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0], Interval::new(0, 2000));
+        assert_eq!(grid[4], Interval::new(8000, 10_000));
+        // Query (10K,20K] also → 5.
+        assert_eq!(Interval::new(10_000, 20_000).grid_overlapping(2000).len(), 5);
+        // (0,10K] with u=50K → 1.
+        assert_eq!(tau.grid_overlapping(50_000).len(), 1);
+        // Unaligned query (1500, 4500] with u=2K → (0,2K],(2K,4K],(4K,6K].
+        let grid = Interval::new(1500, 4500).grid_overlapping(2000);
+        assert_eq!(
+            grid,
+            vec![
+                Interval::new(0, 2000),
+                Interval::new(2000, 4000),
+                Interval::new(4000, 6000)
+            ]
+        );
+    }
+
+    #[test]
+    fn composite_key_roundtrip() {
+        let i = Interval::new(2000, 4000);
+        let key = i.composite_key(b"S00042");
+        assert_eq!(&key[..], b"S00042#000000002000-000000004000".as_slice());
+        let (base, parsed) = Interval::split_composite_key(&key).unwrap();
+        assert_eq!(base, b"S00042");
+        assert_eq!(parsed, i);
+    }
+
+    #[test]
+    fn composite_keys_sort_by_start() {
+        let a = Interval::new(2000, 4000).composite_key(b"K");
+        let b = Interval::new(10_000, 12_000).composite_key(b"K");
+        assert!(a < b, "2K interval must sort before 10K interval");
+    }
+
+    #[test]
+    fn split_rejects_malformed() {
+        assert!(Interval::split_composite_key(b"S00042").is_none());
+        assert!(Interval::split_composite_key(b"S00042#0-1").is_none());
+        assert!(Interval::split_composite_key(
+            b"S00042#000000004000-000000002000" // end < start
+        )
+        .is_none());
+        assert!(Interval::split_composite_key(
+            b"S00042_000000002000-000000004000" // wrong separator
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn prefix_selects_composites() {
+        let p = Interval::key_prefix(b"S00042");
+        let k = Interval::new(0, 2000).composite_key(b"S00042");
+        assert!(k.starts_with(&p));
+        let other = Interval::new(0, 2000).composite_key(b"S00043");
+        assert!(!other.starts_with(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_interval_rejected() {
+        Interval::new(5, 5);
+    }
+}

@@ -1,0 +1,337 @@
+//! Query Q: the temporal join (paper §IV-1).
+//!
+//! *Given `(ts, te]`, for each shipment `s`, find the trucks that ferried
+//! `s` during the window and the associated time spans.* A shipment rides
+//! a truck exactly when it sits in a container that is simultaneously on
+//! that truck, so the query joins shipment-in-container stays with
+//! container-on-truck stays on overlapping time.
+//!
+//! Stays are reconstructed from the load/unload event stream clamped to the
+//! query window: an unload whose load predates the window opens at the
+//! window start; a load with no unload inside the window closes at the
+//! window end. All three engines feed the same join, so their results must
+//! be identical — the integration suite asserts exactly that.
+
+use std::collections::HashMap;
+
+use fabric_ledger::{Ledger, Result};
+use fabric_workload::{EntityId, EntityKind, Event, EventKind};
+
+use crate::engine::TemporalEngine;
+use crate::interval::Interval;
+use crate::stats::{measure, QueryStats};
+
+/// A closed time span `[from, to]` (instants included on both sides —
+/// stays are physical presences, not index intervals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// First instant of presence.
+    pub from: u64,
+    /// Last instant of presence (`>= from`).
+    pub to: u64,
+}
+
+impl Span {
+    /// Intersection of two closed spans, if non-empty.
+    pub fn intersect(&self, other: &Span) -> Option<Span> {
+        let from = self.from.max(other.from);
+        let to = self.to.min(other.to);
+        (from <= to).then_some(Span { from, to })
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.from, self.to)
+    }
+}
+
+/// One reconstructed stay: the subject was inside `target` during `span`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stay {
+    /// Container (for shipment stays) or truck (for container stays).
+    pub target: EntityId,
+    /// When.
+    pub span: Span,
+}
+
+/// Reconstruct stays from a subject's events inside `tau`.
+///
+/// Events must be ascending by time. Unmatched unloads clamp to the window
+/// start; unmatched loads clamp to the window end.
+pub fn build_stays(events: &[Event], tau: Interval) -> Vec<Stay> {
+    debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+    let window_start = tau.start + 1; // (ts, te] ⇒ first instant inside
+    let window_end = tau.end;
+    let mut open: HashMap<EntityId, u64> = HashMap::new();
+    let mut stays = Vec::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Load => {
+                // A dangling earlier load for the same target (its unload
+                // fell outside our data) is closed at this load's time.
+                if let Some(from) = open.remove(&ev.target) {
+                    stays.push(Stay {
+                        target: ev.target,
+                        span: Span { from, to: ev.time },
+                    });
+                }
+                open.insert(ev.target, ev.time);
+            }
+            EventKind::Unload => {
+                let from = open.remove(&ev.target).unwrap_or(window_start);
+                stays.push(Stay {
+                    target: ev.target,
+                    span: Span {
+                        from,
+                        to: ev.time.max(from),
+                    },
+                });
+            }
+        }
+    }
+    for (target, from) in open {
+        stays.push(Stay {
+            target,
+            span: Span {
+                from,
+                to: window_end,
+            },
+        });
+    }
+    stays.sort_by_key(|s| (s.span.from, s.target));
+    stays
+}
+
+/// One row of query Q's answer: shipment `shipment` rode truck `truck`
+/// during `span`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FerryRecord {
+    /// The shipment.
+    pub shipment: EntityId,
+    /// The truck that carried it (via some container).
+    pub truck: EntityId,
+    /// When.
+    pub span: Span,
+}
+
+/// Join shipment stays (shipment → container stays) with container stays
+/// (container → truck stays) on overlapping spans.
+pub fn temporal_join(
+    shipment_stays: &HashMap<EntityId, Vec<Stay>>,
+    container_stays: &HashMap<EntityId, Vec<Stay>>,
+) -> Vec<FerryRecord> {
+    let mut out = Vec::new();
+    for (&shipment, in_container) in shipment_stays {
+        for stay in in_container {
+            let Some(on_truck) = container_stays.get(&stay.target) else {
+                continue;
+            };
+            // Container stays are sorted by `from`; stop early once past
+            // the shipment stay's end.
+            for truck_stay in on_truck {
+                if truck_stay.span.from > stay.span.to {
+                    break;
+                }
+                if let Some(span) = stay.span.intersect(&truck_stay.span) {
+                    out.push(FerryRecord {
+                        shipment,
+                        truck: truck_stay.target,
+                        span,
+                    });
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The full query-Q answer plus its measured cost.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// Join rows, sorted.
+    pub records: Vec<FerryRecord>,
+    /// Events retrieved (shipments + containers).
+    pub events_scanned: usize,
+    /// Measured cost of the whole query (wall + I/O counters).
+    pub stats: QueryStats,
+    /// Wall time spent inside event retrieval (GHFK calls and iteration) —
+    /// the paper's "GHFK Time" column.
+    pub retrieval_wall: std::time::Duration,
+}
+
+/// Execute query Q over `tau` using `engine` for event retrieval.
+pub fn ferry_query(
+    engine: &dyn TemporalEngine,
+    ledger: &Ledger,
+    tau: Interval,
+) -> Result<JoinOutcome> {
+    let mut events_scanned = 0usize;
+    let mut retrieval_wall = std::time::Duration::ZERO;
+    let (records, stats) = measure(ledger, || -> Result<Vec<FerryRecord>> {
+        let shipments = engine.list_keys(ledger, EntityKind::Shipment)?;
+        let containers = engine.list_keys(ledger, EntityKind::Container)?;
+        let mut shipment_stays = HashMap::with_capacity(shipments.len());
+        for s in shipments {
+            let t0 = std::time::Instant::now();
+            let events = engine.events_for_key(ledger, s, tau)?;
+            retrieval_wall += t0.elapsed();
+            events_scanned += events.len();
+            shipment_stays.insert(s, build_stays(&events, tau));
+        }
+        let mut container_stays = HashMap::with_capacity(containers.len());
+        for c in containers {
+            let t0 = std::time::Instant::now();
+            let events = engine.events_for_key(ledger, c, tau)?;
+            retrieval_wall += t0.elapsed();
+            events_scanned += events.len();
+            container_stays.insert(c, build_stays(&events, tau));
+        }
+        Ok(temporal_join(&shipment_stays, &container_stays))
+    })?;
+    Ok(JoinOutcome {
+        records,
+        events_scanned,
+        stats,
+        retrieval_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(subject: EntityId, target: EntityId, time: u64, kind: EventKind) -> Event {
+        Event {
+            subject,
+            target,
+            time,
+            kind,
+        }
+    }
+
+    #[test]
+    fn span_intersection() {
+        let a = Span { from: 10, to: 20 };
+        assert_eq!(
+            a.intersect(&Span { from: 15, to: 30 }),
+            Some(Span { from: 15, to: 20 })
+        );
+        assert_eq!(
+            a.intersect(&Span { from: 20, to: 30 }),
+            Some(Span { from: 20, to: 20 })
+        );
+        assert_eq!(a.intersect(&Span { from: 21, to: 30 }), None);
+    }
+
+    #[test]
+    fn stays_from_matched_pairs() {
+        let s = EntityId::shipment(0);
+        let c = EntityId::container(1);
+        let tau = Interval::new(0, 100);
+        let events = vec![
+            ev(s, c, 10, EventKind::Load),
+            ev(s, c, 30, EventKind::Unload),
+            ev(s, c, 50, EventKind::Load),
+            ev(s, c, 70, EventKind::Unload),
+        ];
+        let stays = build_stays(&events, tau);
+        assert_eq!(
+            stays,
+            vec![
+                Stay { target: c, span: Span { from: 10, to: 30 } },
+                Stay { target: c, span: Span { from: 50, to: 70 } },
+            ]
+        );
+    }
+
+    #[test]
+    fn unmatched_unload_clamps_to_window_start() {
+        let s = EntityId::shipment(0);
+        let c = EntityId::container(1);
+        let tau = Interval::new(40, 100);
+        let events = vec![ev(s, c, 60, EventKind::Unload)];
+        let stays = build_stays(&events, tau);
+        assert_eq!(stays, vec![Stay { target: c, span: Span { from: 41, to: 60 } }]);
+    }
+
+    #[test]
+    fn unmatched_load_clamps_to_window_end() {
+        let s = EntityId::shipment(0);
+        let c = EntityId::container(1);
+        let tau = Interval::new(0, 100);
+        let events = vec![ev(s, c, 80, EventKind::Load)];
+        let stays = build_stays(&events, tau);
+        assert_eq!(stays, vec![Stay { target: c, span: Span { from: 80, to: 100 } }]);
+    }
+
+    #[test]
+    fn interleaved_targets_tracked_independently() {
+        let s = EntityId::shipment(0);
+        let c1 = EntityId::container(1);
+        let c2 = EntityId::container(2);
+        let tau = Interval::new(0, 100);
+        let events = vec![
+            ev(s, c1, 10, EventKind::Load),
+            ev(s, c2, 20, EventKind::Load),
+            ev(s, c1, 30, EventKind::Unload),
+            ev(s, c2, 40, EventKind::Unload),
+        ];
+        let stays = build_stays(&events, tau);
+        assert_eq!(stays.len(), 2);
+        assert!(stays.contains(&Stay { target: c1, span: Span { from: 10, to: 30 } }));
+        assert!(stays.contains(&Stay { target: c2, span: Span { from: 20, to: 40 } }));
+    }
+
+    #[test]
+    fn join_produces_overlap_records() {
+        let s = EntityId::shipment(0);
+        let c = EntityId::container(0);
+        let t1 = EntityId::truck(1);
+        let t2 = EntityId::truck(2);
+        let mut ship = HashMap::new();
+        ship.insert(
+            s,
+            vec![Stay { target: c, span: Span { from: 10, to: 50 } }],
+        );
+        let mut cont = HashMap::new();
+        cont.insert(
+            c,
+            vec![
+                Stay { target: t1, span: Span { from: 0, to: 20 } },
+                Stay { target: t2, span: Span { from: 30, to: 60 } },
+            ],
+        );
+        let records = temporal_join(&ship, &cont);
+        assert_eq!(
+            records,
+            vec![
+                FerryRecord { shipment: s, truck: t1, span: Span { from: 10, to: 20 } },
+                FerryRecord { shipment: s, truck: t2, span: Span { from: 30, to: 50 } },
+            ]
+        );
+    }
+
+    #[test]
+    fn join_skips_disjoint_spans() {
+        let s = EntityId::shipment(0);
+        let c = EntityId::container(0);
+        let t = EntityId::truck(0);
+        let mut ship = HashMap::new();
+        ship.insert(s, vec![Stay { target: c, span: Span { from: 10, to: 20 } }]);
+        let mut cont = HashMap::new();
+        cont.insert(c, vec![Stay { target: t, span: Span { from: 30, to: 40 } }]);
+        assert!(temporal_join(&ship, &cont).is_empty());
+    }
+
+    #[test]
+    fn join_handles_missing_container() {
+        let s = EntityId::shipment(0);
+        let c = EntityId::container(7); // no stays recorded
+        let mut ship = HashMap::new();
+        ship.insert(s, vec![Stay { target: c, span: Span { from: 0, to: 10 } }]);
+        assert!(temporal_join(&ship, &HashMap::new()).is_empty());
+    }
+}

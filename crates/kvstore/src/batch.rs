@@ -1,0 +1,259 @@
+//! Atomic write batches.
+//!
+//! A [`WriteBatch`] groups puts and deletes that must become visible
+//! together. The batch encoding doubles as the WAL record payload, so one
+//! framing layer (the WAL's) provides atomicity: either the whole batch
+//! replays or none of it does.
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+
+/// A single operation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite `key` with `value`.
+    Put {
+        /// Key to write.
+        key: Bytes,
+        /// Value to associate.
+        value: Bytes,
+    },
+    /// Remove `key` (writes a tombstone).
+    Delete {
+        /// Key to remove.
+        key: Bytes,
+    },
+}
+
+impl BatchOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+}
+
+/// An ordered collection of operations applied atomically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_uvarint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a put.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(BatchOp::Put {
+            key: key.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, key: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(BatchOp::Delete { key: key.into() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate over queued operations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &BatchOp> {
+        self.ops.iter()
+    }
+
+    /// Consume the batch, yielding its operations.
+    pub fn into_ops(self) -> Vec<BatchOp> {
+        self.ops
+    }
+
+    /// Serialise: `[count][tag key_len key (val_len val)?]*` with uvarints.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.ops.len() * 16);
+        put_uvarint(&mut out, self.ops.len() as u64);
+        for op in &self.ops {
+            match op {
+                BatchOp::Put { key, value } => {
+                    out.push(TAG_PUT);
+                    put_uvarint(&mut out, key.len() as u64);
+                    out.extend_from_slice(key);
+                    put_uvarint(&mut out, value.len() as u64);
+                    out.extend_from_slice(value);
+                }
+                BatchOp::Delete { key } => {
+                    out.push(TAG_DELETE);
+                    put_uvarint(&mut out, key.len() as u64);
+                    out.extend_from_slice(key);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`WriteBatch::encode`]. Fails on truncated or malformed
+    /// input; trailing bytes after the declared count are rejected.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let bad = |d: &str| Error::InvalidArgument(format!("malformed batch encoding: {d}"));
+        let mut pos = 0usize;
+        let count = get_uvarint(data, &mut pos).ok_or_else(|| bad("missing count"))?;
+        let mut ops = Vec::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            let tag = *data.get(pos).ok_or_else(|| bad("missing tag"))?;
+            pos += 1;
+            let klen = get_uvarint(data, &mut pos).ok_or_else(|| bad("missing key len"))? as usize;
+            let key = data
+                .get(pos..pos + klen)
+                .ok_or_else(|| bad("truncated key"))?;
+            pos += klen;
+            match tag {
+                TAG_PUT => {
+                    let vlen =
+                        get_uvarint(data, &mut pos).ok_or_else(|| bad("missing value len"))? as usize;
+                    let value = data
+                        .get(pos..pos + vlen)
+                        .ok_or_else(|| bad("truncated value"))?;
+                    pos += vlen;
+                    ops.push(BatchOp::Put {
+                        key: Bytes::copy_from_slice(key),
+                        value: Bytes::copy_from_slice(value),
+                    });
+                }
+                TAG_DELETE => ops.push(BatchOp::Delete {
+                    key: Bytes::copy_from_slice(key),
+                }),
+                other => return Err(bad(&format!("unknown tag {other}"))),
+            }
+        }
+        if pos != data.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(WriteBatch { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_batch() {
+        let mut b = WriteBatch::new();
+        b.put(&b"alpha"[..], &b"1"[..])
+            .delete(&b"beta"[..])
+            .put(&b"gamma"[..], &b""[..]);
+        let enc = b.encode();
+        let dec = WriteBatch::decode(&enc).unwrap();
+        assert_eq!(b, dec);
+    }
+
+    #[test]
+    fn roundtrip_empty_batch() {
+        let b = WriteBatch::new();
+        assert!(b.is_empty());
+        let dec = WriteBatch::decode(&b.encode()).unwrap();
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut b = WriteBatch::new();
+        b.put(&b"key"[..], &b"value"[..]);
+        let enc = b.encode();
+        for cut in 1..enc.len() {
+            assert!(
+                WriteBatch::decode(&enc[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut b = WriteBatch::new();
+        b.put(&b"k"[..], &b"v"[..]);
+        let mut enc = b.encode();
+        enc.push(0xEE);
+        assert!(WriteBatch::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        // count=1, tag=9, klen=1, key=b"x"
+        let data = [1u8, 9, 1, b'x'];
+        assert!(WriteBatch::decode(&data).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_large_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes exceeds the 64-bit shift budget.
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn op_key_accessor() {
+        let mut b = WriteBatch::new();
+        b.put(&b"a"[..], &b"1"[..]).delete(&b"b"[..]);
+        let keys: Vec<&[u8]> = b.iter().map(|o| o.key()).collect();
+        assert_eq!(keys, vec![&b"a"[..], &b"b"[..]]);
+    }
+}

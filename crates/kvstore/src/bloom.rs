@@ -1,0 +1,183 @@
+//! Bloom filters for SSTable point-read short-circuiting.
+//!
+//! Uses the standard Kirsch–Mitzenmacher double-hashing scheme: two 64-bit
+//! hashes `h1`, `h2` derive `k` probe positions `h1 + i·h2`. The hash is a
+//! self-contained FNV-1a variant with avalanche finalisation — no external
+//! crates.
+
+/// 64-bit FNV-1a with a murmur-style finaliser for better bit diffusion.
+#[inline]
+pub(crate) fn hash64(data: &[u8], seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // fmix64 from MurmurHash3.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// An immutable bloom filter over a set of byte-string keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `keys.len()` keys at `bits_per_key` bits each.
+    ///
+    /// `bits_per_key == 0` produces an empty filter for which
+    /// [`BloomFilter::may_contain`] always answers `true` (i.e. the filter is
+    /// disabled but never wrong).
+    pub fn build<K: AsRef<[u8]>>(keys: &[K], bits_per_key: usize) -> Self {
+        if bits_per_key == 0 || keys.is_empty() {
+            return BloomFilter {
+                bits: Vec::new(),
+                num_hashes: 0,
+            };
+        }
+        // k = ln2 * bits_per_key is the optimal hash count; clamp to [1, 30].
+        let num_hashes = ((bits_per_key as f64) * 0.69) as u32;
+        let num_hashes = num_hashes.clamp(1, 30);
+        let nbits = (keys.len() * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let nbits = nbytes * 8;
+        let mut bits = vec![0u8; nbytes];
+        for key in keys {
+            let h1 = hash64(key.as_ref(), 0xA5A5_5A5A);
+            let h2 = hash64(key.as_ref(), 0x5151_1515) | 1;
+            let mut h = h1;
+            for _ in 0..num_hashes {
+                let pos = (h % nbits as u64) as usize;
+                bits[pos / 8] |= 1 << (pos % 8);
+                h = h.wrapping_add(h2);
+            }
+        }
+        BloomFilter { bits, num_hashes }
+    }
+
+    /// Returns `false` only when `key` is definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.bits.is_empty() {
+            return true;
+        }
+        let nbits = self.bits.len() * 8;
+        let h1 = hash64(key, 0xA5A5_5A5A);
+        let h2 = hash64(key, 0x5151_1515) | 1;
+        let mut h = h1;
+        for _ in 0..self.num_hashes {
+            let pos = (h % nbits as u64) as usize;
+            if self.bits[pos / 8] & (1 << (pos % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(h2);
+        }
+        true
+    }
+
+    /// Serialise to `out`: `[num_hashes: u32 LE][bit bytes…]`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.num_hashes.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+    }
+
+    /// Inverse of [`BloomFilter::encode_into`]. `data` must be the exact
+    /// encoded region.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        let num_hashes = u32::from_le_bytes(data[..4].try_into().ok()?);
+        if num_hashes > 30 {
+            return None;
+        }
+        Some(BloomFilter {
+            bits: data[4..].to_vec(),
+            num_hashes,
+        })
+    }
+
+    /// Approximate serialised size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i:05}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(1000);
+        let f = BloomFilter::build(&ks, 10);
+        for k in &ks {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let ks = keys(1000);
+        let f = BloomFilter::build(&ks, 10);
+        let mut fp = 0usize;
+        let probes = 10_000;
+        for i in 0..probes {
+            if f.may_contain(format!("absent-{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        // 10 bits/key gives ~1% theoretically; allow generous slack.
+        assert!(fp < probes / 20, "false positive rate too high: {fp}/{probes}");
+    }
+
+    #[test]
+    fn disabled_filter_always_positive() {
+        let ks = keys(10);
+        let f = BloomFilter::build(&ks, 0);
+        assert!(f.may_contain(b"anything"));
+        assert_eq!(f.encoded_len(), 4);
+    }
+
+    #[test]
+    fn empty_key_set_always_positive() {
+        let f = BloomFilter::build::<&[u8]>(&[], 10);
+        assert!(f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn roundtrip_encoding() {
+        let ks = keys(100);
+        let f = BloomFilter::build(&ks, 8);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        assert_eq!(buf.len(), f.encoded_len());
+        let g = BloomFilter::decode(&buf).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[1, 2]).is_none());
+        assert!(BloomFilter::decode(&[255, 255, 255, 255, 0]).is_none());
+    }
+
+    #[test]
+    fn hash64_differs_by_seed() {
+        let a = hash64(b"hello", 1);
+        let b = hash64(b"hello", 2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the key-value store.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by [`crate::KvStore`] operations.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io {
+        /// What the store was doing when the failure occurred.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// Persistent data failed a checksum or structural validation.
+    Corruption {
+        /// File in which the corruption was detected.
+        file: PathBuf,
+        /// Human-readable description of what failed to validate.
+        detail: String,
+    },
+    /// The caller passed an argument the store cannot honour.
+    InvalidArgument(String),
+    /// The store has been closed and can no longer serve requests.
+    Closed,
+}
+
+impl Error {
+    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> Self {
+        Error::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corruption(file: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        Error::Corruption {
+            file: file.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "i/o error while {context}: {source}"),
+            Error::Corruption { file, detail } => {
+                write!(f, "corruption in {}: {detail}", file.display())
+            }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Closed => write!(f, "store is closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io_includes_context() {
+        let err = Error::io("writing wal", io::Error::other("disk full"));
+        let msg = err.to_string();
+        assert!(msg.contains("writing wal"), "{msg}");
+        assert!(msg.contains("disk full"), "{msg}");
+    }
+
+    #[test]
+    fn display_corruption_includes_file() {
+        let err = Error::corruption("/tmp/000001.sst", "bad magic");
+        let msg = err.to_string();
+        assert!(msg.contains("000001.sst"), "{msg}");
+        assert!(msg.contains("bad magic"), "{msg}");
+    }
+
+    #[test]
+    fn error_source_is_preserved_for_io() {
+        let err = Error::io("x", io::Error::other("inner"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = Error::InvalidArgument("x".into());
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

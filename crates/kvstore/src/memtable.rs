@@ -1,0 +1,188 @@
+//! In-memory sorted write buffer.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+
+/// A value slot: either a live value or a tombstone shadowing older data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// A live value.
+    Value(Bytes),
+    /// A deletion marker. Must be retained until compaction proves no older
+    /// version of the key exists anywhere below.
+    Tombstone,
+}
+
+impl Slot {
+    /// The live value, if any.
+    pub fn as_value(&self) -> Option<&Bytes> {
+        match self {
+            Slot::Value(v) => Some(v),
+            Slot::Tombstone => None,
+        }
+    }
+
+    /// `true` for tombstones.
+    pub fn is_tombstone(&self) -> bool {
+        matches!(self, Slot::Tombstone)
+    }
+}
+
+/// Sorted in-memory buffer of the most recent writes.
+///
+/// Later writes to the same key replace earlier ones (the store's visible
+/// semantics are last-write-wins; historical versions live in the ledger
+/// layer above, not here).
+#[derive(Debug, Default)]
+pub struct MemTable {
+    entries: BTreeMap<Bytes, Slot>,
+    approx_bytes: usize,
+}
+
+/// Fixed per-entry overhead charged in addition to key/value bytes.
+const ENTRY_OVERHEAD: usize = 32;
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&mut self, key: Bytes, value: Bytes) {
+        self.charge(&key, value.len());
+        self.entries.insert(key, Slot::Value(value));
+    }
+
+    /// Write a tombstone for `key`.
+    pub fn delete(&mut self, key: Bytes) {
+        self.charge(&key, 0);
+        self.entries.insert(key, Slot::Tombstone);
+    }
+
+    fn charge(&mut self, key: &Bytes, value_len: usize) {
+        let new_cost = key.len() + value_len + ENTRY_OVERHEAD;
+        let old_cost = self
+            .entries
+            .get(key)
+            .map(|slot| key.len() + slot.as_value().map_or(0, Bytes::len) + ENTRY_OVERHEAD)
+            .unwrap_or(0);
+        self.approx_bytes = self.approx_bytes + new_cost - old_cost;
+    }
+
+    /// Look up `key`. `Some(Slot::Tombstone)` means "definitely deleted here";
+    /// `None` means "not present at this level, consult older data".
+    pub fn get(&self, key: &[u8]) -> Option<&Slot> {
+        self.entries.get(key)
+    }
+
+    /// Number of distinct keys (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint used for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate entries within `[start, end)` bounds in key order.
+    pub fn range<'a>(
+        &'a self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> impl Iterator<Item = (&'a Bytes, &'a Slot)> + 'a {
+        let map_bound = |b: Bound<&[u8]>| match b {
+            Bound::Included(k) => Bound::Included(Bytes::copy_from_slice(k)),
+            Bound::Excluded(k) => Bound::Excluded(Bytes::copy_from_slice(k)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        self.entries.range((map_bound(start), map_bound(end)))
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Slot)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut mt = MemTable::new();
+        mt.put(b("k"), b("v1"));
+        mt.put(b("k"), b("v2"));
+        assert_eq!(mt.get(b"k").unwrap().as_value().unwrap(), &b("v2"));
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut mt = MemTable::new();
+        mt.put(b("k"), b("v"));
+        mt.delete(b("k"));
+        assert!(mt.get(b"k").unwrap().is_tombstone());
+        assert!(mt.get(b"absent").is_none());
+    }
+
+    #[test]
+    fn size_accounting_grows_and_stabilises() {
+        let mut mt = MemTable::new();
+        assert_eq!(mt.approx_bytes(), 0);
+        mt.put(b("key"), b("value"));
+        let after_one = mt.approx_bytes();
+        assert!(after_one >= 8);
+        // Overwriting with the same-size value should not grow the estimate.
+        mt.put(b("key"), b("eulav"));
+        assert_eq!(mt.approx_bytes(), after_one);
+        // Overwriting with a larger value grows it by exactly the delta.
+        mt.put(b("key"), b("a much larger value"));
+        assert_eq!(mt.approx_bytes(), after_one + "a much larger value".len() - 5);
+    }
+
+    #[test]
+    fn size_accounting_for_tombstone_overwrite() {
+        let mut mt = MemTable::new();
+        mt.put(b("key"), b("0123456789"));
+        let with_value = mt.approx_bytes();
+        mt.delete(b("key"));
+        assert_eq!(mt.approx_bytes(), with_value - 10);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut mt = MemTable::new();
+        for k in ["a", "b", "c", "d"] {
+            mt.put(b(k), b("v"));
+        }
+        let keys: Vec<_> = mt
+            .range(Bound::Included(b"b"), Bound::Excluded(b"d"))
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys, vec![b("b"), b("c")]);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut mt = MemTable::new();
+        for k in ["zeta", "alpha", "mid"] {
+            mt.put(b(k), b("v"));
+        }
+        let keys: Vec<_> = mt.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("alpha"), b("mid"), b("zeta")]);
+    }
+}

@@ -1,0 +1,830 @@
+//! The [`KvStore`] facade: durability, flushing, compaction and reads.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/MANIFEST          current file set, rewritten atomically
+//! <dir>/NNNNNN.sst        immutable sorted tables (higher N = newer)
+//! <dir>/NNNNNN.wal        write-ahead log for the active memtable
+//! ```
+//!
+//! The manifest is a small text file: `next <n>`, `wal <n>` and one
+//! `sst <n>` line per live table, oldest first. It is replaced with a
+//! write-to-temp-then-rename so a crash can never leave a half-written
+//! manifest; the WAL covers everything newer than the manifest.
+
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::batch::{BatchOp, WriteBatch};
+use crate::error::{Error, Result};
+use crate::iter::{EntrySource, MergeIter, VecSource};
+use crate::memtable::{MemTable, Slot};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::options::Options;
+use crate::sstable::{SsEntry, SsTableReader, SsTableWriter};
+use crate::wal::{replay, Wal};
+
+#[derive(Debug)]
+struct Inner {
+    memtable: MemTable,
+    /// Live tables, oldest first (later entries shadow earlier ones).
+    tables: Vec<Arc<SsTableReader>>,
+    /// File numbers matching `tables` (for manifest rewrites).
+    table_nums: Vec<u64>,
+    wal: Wal,
+    wal_num: u64,
+    next_file: u64,
+}
+
+/// An embedded, ordered, persistent key-value store.
+///
+/// Thread-safe: reads take a shared lock, writes an exclusive one. All keys
+/// and values are arbitrary byte strings; iteration order is lexicographic
+/// on the raw bytes.
+pub struct KvStore {
+    dir: PathBuf,
+    options: Options,
+    inner: RwLock<Inner>,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore").field("dir", &self.dir).finish()
+    }
+}
+
+fn sst_path(dir: &Path, num: u64) -> PathBuf {
+    dir.join(format!("{num:06}.sst"))
+}
+
+fn wal_path(dir: &Path, num: u64) -> PathBuf {
+    dir.join(format!("{num:06}.wal"))
+}
+
+impl KvStore {
+    /// Open (or create) a store in `dir`.
+    pub fn open(dir: impl Into<PathBuf>, options: Options) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("creating store dir {}", dir.display()), e))?;
+        let manifest_path = dir.join("MANIFEST");
+        let (mut next_file, wal_num, table_nums) = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => Self::parse_manifest(&manifest_path, &text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (1, 0, Vec::new()),
+            Err(e) => return Err(Error::io("reading manifest".to_string(), e)),
+        };
+        let mut tables = Vec::with_capacity(table_nums.len());
+        for &num in &table_nums {
+            tables.push(SsTableReader::open(sst_path(&dir, num))?);
+        }
+        // Replay the WAL (if any) into a fresh memtable, then continue
+        // appending to a new WAL so replay is idempotent across crashes
+        // during open.
+        let mut memtable = MemTable::new();
+        let old_wal = wal_path(&dir, wal_num);
+        for record in replay(&old_wal)? {
+            let batch = WriteBatch::decode(&record)?;
+            Self::apply_to_memtable(&mut memtable, batch);
+        }
+        let new_wal_num = next_file;
+        next_file += 1;
+        let mut wal = Wal::create(wal_path(&dir, new_wal_num), options.sync_wal)?;
+        // Re-log replayed entries so the old WAL can be dropped.
+        if !memtable.is_empty() {
+            let mut batch = WriteBatch::new();
+            for (k, slot) in memtable.iter() {
+                match slot {
+                    Slot::Value(v) => batch.put(k.clone(), v.clone()),
+                    Slot::Tombstone => batch.delete(k.clone()),
+                };
+            }
+            wal.append(&batch.encode())?;
+        }
+        let store = KvStore {
+            dir: dir.clone(),
+            options,
+            inner: RwLock::new(Inner {
+                memtable,
+                tables,
+                table_nums,
+                wal,
+                wal_num: new_wal_num,
+                next_file,
+            }),
+            metrics: Metrics::default(),
+        };
+        store.write_manifest(&store.inner.read())?;
+        if old_wal.exists() && old_wal != wal_path(&dir, new_wal_num) {
+            let _ = std::fs::remove_file(old_wal);
+        }
+        Ok(store)
+    }
+
+    fn parse_manifest(path: &Path, text: &str) -> Result<(u64, u64, Vec<u64>)> {
+        let mut next_file = 1u64;
+        let mut wal_num = 0u64;
+        let mut table_nums = Vec::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(kind), Some(num)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let num: u64 = num
+                .parse()
+                .map_err(|_| Error::corruption(path, format!("bad manifest line: {line}")))?;
+            match kind {
+                "next" => next_file = num,
+                "wal" => wal_num = num,
+                "sst" => table_nums.push(num),
+                other => {
+                    return Err(Error::corruption(
+                        path,
+                        format!("unknown manifest entry: {other}"),
+                    ))
+                }
+            }
+        }
+        Ok((next_file, wal_num, table_nums))
+    }
+
+    fn write_manifest(&self, inner: &Inner) -> Result<()> {
+        let mut text = format!("next {}\nwal {}\n", inner.next_file, inner.wal_num);
+        for num in &inner.table_nums {
+            text.push_str(&format!("sst {num}\n"));
+        }
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let final_path = self.dir.join("MANIFEST");
+        std::fs::write(&tmp, text)
+            .and_then(|_| std::fs::rename(&tmp, &final_path))
+            .map_err(|e| Error::io("writing manifest".to_string(), e))
+    }
+
+    fn apply_to_memtable(memtable: &mut MemTable, batch: WriteBatch) {
+        for op in batch.into_ops() {
+            match op {
+                BatchOp::Put { key, value } => memtable.put(key, value),
+                BatchOp::Delete { key } => memtable.delete(key),
+            }
+        }
+    }
+
+    /// Insert or overwrite a single key.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key.into(), value.into());
+        self.write(batch)
+    }
+
+    /// Delete a single key (idempotent).
+    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key.into());
+        self.write(batch)
+    }
+
+    /// Apply a batch atomically: logged as one WAL record, applied to the
+    /// memtable under one lock.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let puts = batch.iter().filter(|op| matches!(op, BatchOp::Put { .. })).count();
+        let dels = batch.len() - puts;
+        let mut inner = self.inner.write();
+        let bytes = inner.wal.append(&batch.encode())?;
+        Metrics::add(&self.metrics.bytes_wal, bytes);
+        Metrics::add(&self.metrics.puts, puts as u64);
+        Metrics::add(&self.metrics.deletes, dels as u64);
+        Self::apply_to_memtable(&mut inner.memtable, batch);
+        if inner.memtable.approx_bytes() >= self.options.memtable_max_bytes {
+            self.flush_locked(&mut inner)?;
+            if self.options.compaction_trigger > 0
+                && inner.tables.len() >= self.options.compaction_trigger
+            {
+                self.compact_locked(&mut inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        Metrics::incr(&self.metrics.gets);
+        let inner = self.inner.read();
+        if let Some(slot) = inner.memtable.get(key) {
+            return Ok(slot.as_value().cloned());
+        }
+        for table in inner.tables.iter().rev() {
+            if table.definitely_absent(key) {
+                Metrics::incr(&self.metrics.bloom_negatives);
+                continue;
+            }
+            Metrics::incr(&self.metrics.sstable_point_reads);
+            if let Some(slot) = table.get(key)? {
+                return Ok(slot.as_value().cloned());
+            }
+        }
+        Ok(None)
+    }
+
+    /// Iterate live entries with keys in `[start, end)`.
+    ///
+    /// The iterator sees a snapshot of the memtable taken now plus the
+    /// current set of SSTables; writes performed after this call are not
+    /// reflected.
+    pub fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<RangeIter> {
+        Metrics::incr(&self.metrics.range_scans);
+        // An inverted or empty range is a no-op, not a panic (BTreeMap's
+        // `range` would panic on start > end).
+        let inverted = match (&start, &end) {
+            (Bound::Included(s) | Bound::Excluded(s), Bound::Included(e)) => s > e,
+            (Bound::Included(s), Bound::Excluded(e)) => s >= e,
+            (Bound::Excluded(s), Bound::Excluded(e)) => s >= e,
+            _ => false,
+        };
+        if inverted {
+            return Ok(RangeIter {
+                merge: MergeIter::new(Vec::new())?,
+                start: Bound::Unbounded,
+                end: Bound::Unbounded,
+                done: true,
+            });
+        }
+        let inner = self.inner.read();
+        let mut sources: Vec<Box<dyn EntrySource + Send>> = Vec::new();
+        // Memtable snapshot is the newest source.
+        let mem_entries: Vec<SsEntry> = inner
+            .memtable
+            .range(start, Bound::Unbounded)
+            .map(|(k, slot)| SsEntry {
+                key: k.clone(),
+                slot: slot.clone(),
+            })
+            .collect();
+        sources.push(Box::new(VecSource::new(mem_entries)));
+        for table in inner.tables.iter().rev() {
+            let iter = match start {
+                Bound::Included(k) | Bound::Excluded(k) => table.seek(k)?,
+                Bound::Unbounded => table.iter()?,
+            };
+            sources.push(Box::new(iter));
+        }
+        let start_owned = match start {
+            Bound::Included(k) => Bound::Included(Bytes::copy_from_slice(k)),
+            Bound::Excluded(k) => Bound::Excluded(Bytes::copy_from_slice(k)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let end_owned = match end {
+            Bound::Included(k) => Bound::Included(Bytes::copy_from_slice(k)),
+            Bound::Excluded(k) => Bound::Excluded(Bytes::copy_from_slice(k)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        Ok(RangeIter {
+            merge: MergeIter::new(sources)?,
+            start: start_owned,
+            end: end_owned,
+            done: false,
+        })
+    }
+
+    /// Iterate live entries whose key starts with `prefix`.
+    pub fn prefix(&self, prefix: &[u8]) -> Result<RangeIter> {
+        let end = prefix_end(prefix);
+        match &end {
+            Some(end) => self.range(Bound::Included(prefix), Bound::Excluded(end)),
+            None => self.range(Bound::Included(prefix), Bound::Unbounded),
+        }
+    }
+
+    /// Force the memtable to an SSTable regardless of size.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let num = inner.next_file;
+        inner.next_file += 1;
+        let path = sst_path(&self.dir, num);
+        let mut writer = SsTableWriter::create(
+            &path,
+            self.options.sparse_index_interval,
+            self.options.bloom_bits_per_key,
+        )?;
+        for (key, slot) in inner.memtable.iter() {
+            writer.add(key, slot)?;
+        }
+        let bytes = writer.finish()?;
+        Metrics::add(&self.metrics.bytes_flushed, bytes);
+        Metrics::incr(&self.metrics.flushes);
+        inner.tables.push(SsTableReader::open(&path)?);
+        inner.table_nums.push(num);
+        inner.memtable = MemTable::new();
+        // Rotate the WAL: everything it contained is now durable in the sst.
+        let old_wal = wal_path(&self.dir, inner.wal_num);
+        let new_wal_num = inner.next_file;
+        inner.next_file += 1;
+        inner.wal = Wal::create(wal_path(&self.dir, new_wal_num), self.options.sync_wal)?;
+        inner.wal_num = new_wal_num;
+        self.write_manifest(inner)?;
+        let _ = std::fs::remove_file(old_wal);
+        Ok(())
+    }
+
+    /// Merge every SSTable into one, dropping shadowed versions and
+    /// tombstones (safe: a full merge leaves nothing older underneath).
+    pub fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> Result<()> {
+        if inner.tables.len() <= 1 {
+            return Ok(());
+        }
+        let num = inner.next_file;
+        inner.next_file += 1;
+        let path = sst_path(&self.dir, num);
+        let mut writer = SsTableWriter::create(
+            &path,
+            self.options.sparse_index_interval,
+            self.options.bloom_bits_per_key,
+        )?;
+        {
+            // Newest-first sources; exclude the memtable (it stays live).
+            let sources: Vec<Box<dyn EntrySource + Send>> = inner
+                .tables
+                .iter()
+                .rev()
+                .map(|t| t.iter().map(|i| Box::new(i) as Box<dyn EntrySource + Send>))
+                .collect::<Result<_>>()?;
+            let mut merge = MergeIter::new(sources)?;
+            while let Some((key, value)) = merge.next_live()? {
+                writer.add(&key, &Slot::Value(value))?;
+            }
+        }
+        let bytes = writer.finish()?;
+        Metrics::add(&self.metrics.bytes_flushed, bytes);
+        Metrics::incr(&self.metrics.compactions);
+        let old_nums = std::mem::take(&mut inner.table_nums);
+        inner.tables = vec![SsTableReader::open(&path)?];
+        inner.table_nums = vec![num];
+        self.write_manifest(inner)?;
+        for old in old_nums {
+            let _ = std::fs::remove_file(sst_path(&self.dir, old));
+        }
+        Ok(())
+    }
+
+    /// Write a consistent checkpoint of the store into `dest` (which must
+    /// not already contain a store). The checkpoint is a fully openable
+    /// copy: the memtable is flushed first, then the live SSTables and a
+    /// fresh manifest are copied under the write lock, so no concurrent
+    /// writer can interleave.
+    pub fn checkpoint(&self, dest: impl Into<PathBuf>) -> Result<()> {
+        let dest = dest.into();
+        std::fs::create_dir_all(&dest)
+            .map_err(|e| Error::io(format!("creating checkpoint dir {}", dest.display()), e))?;
+        if dest.join("MANIFEST").exists() {
+            return Err(Error::InvalidArgument(format!(
+                "checkpoint destination {} already holds a store",
+                dest.display()
+            )));
+        }
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)?;
+        let mut text = format!("next {}\nwal 0\n", inner.next_file);
+        for (num, _table) in inner.table_nums.iter().zip(&inner.tables) {
+            let name = format!("{num:06}.sst");
+            std::fs::copy(sst_path(&self.dir, *num), dest.join(&name))
+                .map_err(|e| Error::io(format!("copying {name} to checkpoint"), e))?;
+            text.push_str(&format!("sst {num}\n"));
+        }
+        let tmp = dest.join("MANIFEST.tmp");
+        std::fs::write(&tmp, text)
+            .and_then(|_| std::fs::rename(&tmp, dest.join("MANIFEST")))
+            .map_err(|e| Error::io("writing checkpoint manifest".to_string(), e))?;
+        Ok(())
+    }
+
+    /// Number of live SSTables (diagnostics / tests).
+    pub fn table_count(&self) -> usize {
+        self.inner.read().tables.len()
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Smallest byte string strictly greater than every string with `prefix`.
+/// `None` when the prefix is all `0xFF` (no upper bound exists).
+pub fn prefix_end(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    while let Some(last) = end.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(end);
+        }
+        end.pop();
+    }
+    None
+}
+
+/// Snapshot iterator over a key range; yields live `(key, value)` pairs in
+/// ascending key order.
+pub struct RangeIter {
+    merge: MergeIter,
+    start: Bound<Bytes>,
+    end: Bound<Bytes>,
+    done: bool,
+}
+
+impl RangeIter {
+    fn within_start(&self, key: &[u8]) -> bool {
+        match &self.start {
+            Bound::Included(s) => key >= &s[..],
+            Bound::Excluded(s) => key > &s[..],
+            Bound::Unbounded => true,
+        }
+    }
+
+    fn within_end(&self, key: &[u8]) -> bool {
+        match &self.end {
+            Bound::Included(e) => key <= &e[..],
+            Bound::Excluded(e) => key < &e[..],
+            Bound::Unbounded => true,
+        }
+    }
+
+    /// Next pair, or `None` at the end of the range.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(Bytes, Bytes)>> {
+        if self.done {
+            return Ok(None);
+        }
+        while let Some((key, value)) = self.merge.next_live()? {
+            if !self.within_start(&key) {
+                continue; // sstable seek may land slightly before start
+            }
+            if !self.within_end(&key) {
+                self.done = true;
+                return Ok(None);
+            }
+            return Ok(Some((key, value)));
+        }
+        self.done = true;
+        Ok(None)
+    }
+
+    /// Drain the iterator into a vector (convenience for tests/queries).
+    pub fn collect_all(mut self) -> Result<Vec<(Bytes, Bytes)>> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.next()? {
+            out.push(pair);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "kvstore-test-{}-{tag}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open(dir: &TempDir) -> KvStore {
+        KvStore::open(&dir.0, Options::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = TempDir::new("pgd");
+        let db = open(&dir);
+        db.put(&b"k"[..], &b"v"[..]).unwrap();
+        assert_eq!(db.get(b"k").unwrap().unwrap(), &b"v"[..]);
+        db.delete(&b"k"[..]).unwrap();
+        assert!(db.get(b"k").unwrap().is_none());
+        assert!(db.get(b"never").unwrap().is_none());
+    }
+
+    #[test]
+    fn survives_reopen_via_wal() {
+        let dir = TempDir::new("wal-reopen");
+        {
+            let db = open(&dir);
+            db.put(&b"persist"[..], &b"me"[..]).unwrap();
+        }
+        let db = open(&dir);
+        assert_eq!(db.get(b"persist").unwrap().unwrap(), &b"me"[..]);
+    }
+
+    #[test]
+    fn survives_reopen_via_sstables() {
+        let dir = TempDir::new("sst-reopen");
+        {
+            let db = open(&dir);
+            for i in 0..200 {
+                db.put(format!("key{i:04}"), format!("val{i}")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = open(&dir);
+        assert_eq!(db.get(b"key0123").unwrap().unwrap(), &b"val123"[..]);
+        assert!(db.table_count() >= 1);
+    }
+
+    #[test]
+    fn flush_triggers_automatically() {
+        let dir = TempDir::new("autoflush");
+        let db = open(&dir); // memtable_max_bytes = 1024
+        for i in 0..100 {
+            db.put(format!("key-{i:05}"), "x".repeat(50)).unwrap();
+        }
+        assert!(db.metrics().flushes > 0, "expected automatic flushes");
+        for i in 0..100 {
+            let k = format!("key-{i:05}");
+            assert_eq!(db.get(k.as_bytes()).unwrap().unwrap(), "x".repeat(50));
+        }
+    }
+
+    #[test]
+    fn compaction_reduces_table_count_and_preserves_data() {
+        let dir = TempDir::new("compact");
+        let db = open(&dir);
+        for round in 0..5 {
+            for i in 0..20 {
+                db.put(format!("key{i:03}"), format!("round{round}")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact().unwrap();
+        assert_eq!(db.table_count(), 1);
+        for i in 0..20 {
+            let k = format!("key{i:03}");
+            assert_eq!(db.get(k.as_bytes()).unwrap().unwrap(), &b"round4"[..]);
+        }
+    }
+
+    #[test]
+    fn compaction_drops_tombstones() {
+        let dir = TempDir::new("compact-tomb");
+        let db = open(&dir);
+        db.put(&b"dead"[..], &b"v"[..]).unwrap();
+        db.flush().unwrap();
+        db.delete(&b"dead"[..]).unwrap();
+        db.put(&b"live"[..], &b"v"[..]).unwrap();
+        db.flush().unwrap();
+        db.compact().unwrap();
+        assert!(db.get(b"dead").unwrap().is_none());
+        assert_eq!(db.get(b"live").unwrap().unwrap(), &b"v"[..]);
+        // After compaction the single table should hold exactly one entry.
+        assert_eq!(db.table_count(), 1);
+    }
+
+    #[test]
+    fn range_scan_merges_all_levels() {
+        let dir = TempDir::new("range");
+        let db = open(&dir);
+        db.put(&b"a"[..], &b"old"[..]).unwrap();
+        db.put(&b"c"[..], &b"1"[..]).unwrap();
+        db.flush().unwrap();
+        db.put(&b"a"[..], &b"new"[..]).unwrap(); // shadows sstable version
+        db.put(&b"b"[..], &b"2"[..]).unwrap(); // memtable only
+        let got = db
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        let got: Vec<(String, String)> = got
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8(k.to_vec()).unwrap(),
+                    String::from_utf8(v.to_vec()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), "new".into()),
+                ("b".into(), "2".into()),
+                ("c".into(), "1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let dir = TempDir::new("range-bounds");
+        let db = open(&dir);
+        for k in ["a", "b", "c", "d", "e"] {
+            db.put(k.as_bytes().to_vec(), &b"v"[..]).unwrap();
+        }
+        let got = db
+            .range(Bound::Excluded(&b"a"[..]), Bound::Included(&b"d"[..]))
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        let keys: Vec<&[u8]> = got.iter().map(|(k, _)| &k[..]).collect();
+        assert_eq!(keys, vec![b"b", b"c", b"d"]);
+    }
+
+    #[test]
+    fn range_scan_skips_deleted() {
+        let dir = TempDir::new("range-del");
+        let db = open(&dir);
+        db.put(&b"a"[..], &b"1"[..]).unwrap();
+        db.put(&b"b"[..], &b"2"[..]).unwrap();
+        db.flush().unwrap();
+        db.delete(&b"a"[..]).unwrap();
+        let got = db
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].0[..], b"b");
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let dir = TempDir::new("prefix");
+        let db = open(&dir);
+        for k in ["app:1", "app:2", "apple", "b:1"] {
+            db.put(k.as_bytes().to_vec(), &b"v"[..]).unwrap();
+        }
+        let got = db.prefix(b"app:").unwrap().collect_all().unwrap();
+        assert_eq!(got.len(), 2);
+        let got = db.prefix(b"app").unwrap().collect_all().unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn prefix_end_edge_cases() {
+        assert_eq!(prefix_end(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_end(b"ab\xff"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_end(b"\xff\xff"), None);
+        assert_eq!(prefix_end(b""), None);
+    }
+
+    #[test]
+    fn atomic_batch_applies_all_or_nothing() {
+        let dir = TempDir::new("batch");
+        let db = open(&dir);
+        db.put(&b"x"[..], &b"old"[..]).unwrap();
+        let mut batch = WriteBatch::new();
+        batch
+            .put(&b"x"[..], &b"new"[..])
+            .put(&b"y"[..], &b"1"[..])
+            .delete(&b"x"[..]);
+        db.write(batch).unwrap();
+        // Ops apply in order: final state of x is deleted.
+        assert!(db.get(b"x").unwrap().is_none());
+        assert_eq!(db.get(b"y").unwrap().unwrap(), &b"1"[..]);
+    }
+
+    #[test]
+    fn reopen_after_flush_and_more_writes() {
+        let dir = TempDir::new("mixed-reopen");
+        {
+            let db = open(&dir);
+            db.put(&b"in-sst"[..], &b"1"[..]).unwrap();
+            db.flush().unwrap();
+            db.put(&b"in-wal"[..], &b"2"[..]).unwrap();
+        }
+        let db = open(&dir);
+        assert_eq!(db.get(b"in-sst").unwrap().unwrap(), &b"1"[..]);
+        assert_eq!(db.get(b"in-wal").unwrap().unwrap(), &b"2"[..]);
+    }
+
+    #[test]
+    fn delete_of_flushed_key_survives_reopen() {
+        let dir = TempDir::new("tomb-reopen");
+        {
+            let db = open(&dir);
+            db.put(&b"k"[..], &b"v"[..]).unwrap();
+            db.flush().unwrap();
+            db.delete(&b"k"[..]).unwrap();
+        }
+        let db = open(&dir);
+        assert!(db.get(b"k").unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let dir = TempDir::new("empty-batch");
+        let db = open(&dir);
+        db.write(WriteBatch::new()).unwrap();
+        assert_eq!(db.metrics().puts, 0);
+    }
+
+    #[test]
+    fn metrics_track_operations() {
+        let dir = TempDir::new("metrics");
+        let db = open(&dir);
+        db.put(&b"a"[..], &b"1"[..]).unwrap();
+        db.get(b"a").unwrap();
+        db.get(b"missing").unwrap();
+        db.delete(&b"a"[..]).unwrap();
+        let m = db.metrics();
+        assert_eq!(m.puts, 1);
+        assert_eq!(m.gets, 2);
+        assert_eq!(m.deletes, 1);
+        assert!(m.bytes_wal > 0);
+    }
+
+    #[test]
+    fn checkpoint_is_openable_and_frozen() {
+        let dir = TempDir::new("ckpt-src");
+        let dest = TempDir::new("ckpt-dst");
+        let ckpt_dir = dest.0.join("snap");
+        let db = open(&dir);
+        for i in 0..50 {
+            db.put(format!("key{i:03}"), format!("v{i}")).unwrap();
+        }
+        db.flush().unwrap();
+        db.put(&b"unflushed"[..], &b"in-memtable"[..]).unwrap();
+        db.checkpoint(&ckpt_dir).unwrap();
+        // Mutate the original afterwards.
+        db.put(&b"key000"[..], &b"MUTATED"[..]).unwrap();
+        db.delete(&b"key001"[..]).unwrap();
+        // The checkpoint preserves the moment-of-checkpoint state,
+        // including what was only in the memtable.
+        let snap = KvStore::open(&ckpt_dir, Options::small_for_tests()).unwrap();
+        assert_eq!(snap.get(b"key000").unwrap().unwrap(), &b"v0"[..]);
+        assert_eq!(snap.get(b"key001").unwrap().unwrap(), &b"v1"[..]);
+        assert_eq!(snap.get(b"unflushed").unwrap().unwrap(), &b"in-memtable"[..]);
+        // And the original kept its mutations.
+        assert_eq!(db.get(b"key000").unwrap().unwrap(), &b"MUTATED"[..]);
+    }
+
+    #[test]
+    fn checkpoint_refuses_existing_store() {
+        let dir = TempDir::new("ckpt-refuse");
+        let db = open(&dir);
+        db.put(&b"k"[..], &b"v"[..]).unwrap();
+        let dest = dir.0.join("snap");
+        db.checkpoint(&dest).unwrap();
+        assert!(db.checkpoint(&dest).is_err(), "second checkpoint must refuse");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let dir = TempDir::new("concurrent");
+        let db = std::sync::Arc::new(KvStore::open(&dir.0, Options::default()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    let key = format!("t{t}-k{i}");
+                    db.put(key.clone(), format!("v{i}")).unwrap();
+                    assert_eq!(db.get(key.as_bytes()).unwrap().unwrap(), format!("v{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4 {
+            for i in 0..250 {
+                let key = format!("t{t}-k{i}");
+                assert!(db.get(key.as_bytes()).unwrap().is_some(), "{key} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests: the store must behave exactly like a sorted map,
+//! no matter how operations interleave with flushes, compactions and
+//! reopens.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use fabric_kvstore::{KvStore, Options, WriteBatch};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Batch(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+    Flush,
+    Compact,
+    Reopen,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small keyspace so puts/deletes/overwrites actually collide.
+    prop::collection::vec(prop::sample::select(b"abcdxyz".to_vec()), 1..4)
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..24)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (key_strategy(), value_strategy()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => key_strategy().prop_map(Op::Delete),
+        2 => prop::collection::vec(
+            (key_strategy(), prop::option::of(value_strategy())),
+            1..5
+        )
+        .prop_map(Op::Batch),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: u64) -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "kv-prop-{}-{tag}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn check_equiv(db: &KvStore, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
+    // Every model key matches; a range scan reproduces the whole model.
+    let scanned = db
+        .range(Bound::Unbounded, Bound::Unbounded)
+        .unwrap()
+        .collect_all()
+        .unwrap();
+    let scanned: Vec<(Vec<u8>, Vec<u8>)> = scanned
+        .into_iter()
+        .map(|(k, v)| (k.to_vec(), v.to_vec()))
+        .collect();
+    let expected: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(scanned, expected, "full scan diverged from model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn store_matches_sorted_map_model(ops in prop::collection::vec(op_strategy(), 1..60), seed in any::<u64>()) {
+        let dir = TempDir::new(seed);
+        let mut db = KvStore::open(&dir.0, Options::small_for_tests()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(k.clone(), v.clone()).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    db.delete(k.clone()).unwrap();
+                    model.remove(&k);
+                }
+                Op::Batch(entries) => {
+                    let mut batch = WriteBatch::new();
+                    for (k, v) in &entries {
+                        match v {
+                            Some(v) => { batch.put(k.clone(), v.clone()); }
+                            None => { batch.delete(k.clone()); }
+                        }
+                    }
+                    db.write(batch).unwrap();
+                    for (k, v) in entries {
+                        match v {
+                            Some(v) => { model.insert(k, v); }
+                            None => { model.remove(&k); }
+                        }
+                    }
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::Compact => db.compact().unwrap(),
+                Op::Reopen => {
+                    drop(db);
+                    db = KvStore::open(&dir.0, Options::small_for_tests()).unwrap();
+                }
+            }
+            // Spot-check point reads continuously (cheap).
+            for (k, v) in model.iter().take(4) {
+                let got = db.get(k).unwrap();
+                prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+            }
+        }
+        check_equiv(&db, &model);
+        // Point reads for everything, including deleted keys.
+        for key in [b"a".to_vec(), b"zz".to_vec(), b"dcba".to_vec()] {
+            prop_assert_eq!(db.get(&key).unwrap().map(|b| b.to_vec()), model.get(&key).cloned());
+        }
+        // Survives one final reopen.
+        drop(db);
+        let db = KvStore::open(&dir.0, Options::small_for_tests()).unwrap();
+        check_equiv(&db, &model);
+    }
+
+    #[test]
+    fn range_bounds_match_model(
+        entries in prop::collection::btree_map(key_strategy(), value_strategy(), 0..30),
+        start in key_strategy(),
+        end in key_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let dir = TempDir::new(seed.wrapping_add(1_000_000));
+        let db = KvStore::open(&dir.0, Options::small_for_tests()).unwrap();
+        for (k, v) in &entries {
+            db.put(k.clone(), v.clone()).unwrap();
+        }
+        db.flush().unwrap();
+        let got = db
+            .range(Bound::Included(start.as_slice()), Bound::Excluded(end.as_slice()))
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        let got: Vec<Vec<u8>> = got.into_iter().map(|(k, _)| k.to_vec()).collect();
+        let want: Vec<Vec<u8>> = if start >= end {
+            Vec::new() // inverted range: the store must return empty
+        } else {
+            entries
+                .range::<Vec<u8>, _>((Bound::Included(&start), Bound::Excluded(&end)))
+                .map(|(k, _)| k.clone())
+                .collect()
+        };
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefix_scan_matches_model(
+        entries in prop::collection::btree_map(key_strategy(), value_strategy(), 0..30),
+        prefix in key_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let dir = TempDir::new(seed.wrapping_add(2_000_000));
+        let db = KvStore::open(&dir.0, Options::small_for_tests()).unwrap();
+        for (k, v) in &entries {
+            db.put(k.clone(), v.clone()).unwrap();
+        }
+        let got = db.prefix(&prefix).unwrap().collect_all().unwrap();
+        let got: Vec<Vec<u8>> = got.into_iter().map(|(k, _)| k.to_vec()).collect();
+        let want: Vec<Vec<u8>> = entries
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

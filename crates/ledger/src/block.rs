@@ -1,0 +1,270 @@
+//! Blocks: the unit of storage — and therefore the unit of I/O cost.
+//!
+//! Layout mirrors Fabric: a header (`number`, `prev_hash`, `data_hash`), the
+//! transaction list, and commit-time metadata (per-transaction validation
+//! codes). `data_hash` commits to the transaction bytes; `prev_hash` chains
+//! blocks; [`Block::hash`] hashes the header, so each block hash transitively
+//! commits to the whole chain prefix.
+
+use crate::codec::{put_bytes, put_u64, put_uvarint, Cursor};
+use crate::error::{Error, Result};
+use crate::hash::{sha256, Digest, Sha256};
+use crate::tx::{BlockNum, Transaction, ValidationCode};
+
+/// Block header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Sequence number; genesis is 0.
+    pub number: BlockNum,
+    /// Hash of the previous block's header ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// SHA-256 over the concatenated encoded transactions.
+    pub data_hash: Digest,
+}
+
+impl BlockHeader {
+    /// Canonical header encoding (hashed by [`Block::hash`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(72);
+        put_u64(&mut out, self.number);
+        out.extend_from_slice(&self.prev_hash.0);
+        out.extend_from_slice(&self.data_hash.0);
+        out
+    }
+}
+
+/// A committed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Header (chained by hash).
+    pub header: BlockHeader,
+    /// Ordered transactions.
+    pub txs: Vec<Transaction>,
+    /// Validation outcome per transaction, same order as `txs`.
+    pub validation: Vec<ValidationCode>,
+}
+
+impl Block {
+    /// Assemble a block over `txs`, computing the data hash and linking to
+    /// `prev_hash`. Validation codes are set by the commit pipeline.
+    pub fn new(
+        number: BlockNum,
+        prev_hash: Digest,
+        txs: Vec<Transaction>,
+        validation: Vec<ValidationCode>,
+    ) -> Result<Self> {
+        if txs.len() != validation.len() {
+            return Err(Error::InvalidArgument(format!(
+                "{} txs but {} validation codes",
+                txs.len(),
+                validation.len()
+            )));
+        }
+        let data_hash = Self::compute_data_hash(&txs);
+        Ok(Block {
+            header: BlockHeader {
+                number,
+                prev_hash,
+                data_hash,
+            },
+            txs,
+            validation,
+        })
+    }
+
+    /// SHA-256 over the concatenated encoded transactions.
+    pub fn compute_data_hash(txs: &[Transaction]) -> Digest {
+        let mut h = Sha256::new();
+        for tx in txs {
+            h.update(&tx.encode());
+        }
+        h.finalize()
+    }
+
+    /// The block hash: SHA-256 of the encoded header.
+    pub fn hash(&self) -> Digest {
+        sha256(&self.header.encode())
+    }
+
+    /// Serialise the full block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.txs.len() * 128);
+        out.extend_from_slice(&self.header.encode());
+        put_uvarint(&mut out, self.txs.len() as u64);
+        for tx in &self.txs {
+            put_bytes(&mut out, &tx.encode());
+        }
+        for v in &self.validation {
+            out.push(v.to_byte());
+        }
+        out
+    }
+
+    /// Decode and structurally validate a block: transaction ids are
+    /// re-verified and the data hash recomputed.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        Self::decode_impl(data, true)
+    }
+
+    /// Decode without recomputing the data hash or transaction ids.
+    ///
+    /// The block-file read path uses this: the frame CRC already covers
+    /// integrity, and block deserialization is the evaluation's hot
+    /// operation. [`crate::ledger::Ledger::verify_chain`] recomputes all
+    /// hashes explicitly when auditing is wanted.
+    pub fn decode_trusted(data: &[u8]) -> Result<Self> {
+        Self::decode_impl(data, false)
+    }
+
+    fn decode_impl(data: &[u8], verify: bool) -> Result<Self> {
+        let mut c = Cursor::new(data, "block");
+        let number = c.get_u64()?;
+        let prev_hash = Digest(
+            c.get_raw(32)?
+                .try_into()
+                .expect("get_raw(32) returns 32 bytes"),
+        );
+        let data_hash = Digest(
+            c.get_raw(32)?
+                .try_into()
+                .expect("get_raw(32) returns 32 bytes"),
+        );
+        let tx_count = c.get_uvarint()?;
+        let mut txs = Vec::with_capacity(tx_count.min(1 << 16) as usize);
+        for _ in 0..tx_count {
+            let tx_bytes = c.get_bytes()?;
+            txs.push(if verify {
+                Transaction::decode(tx_bytes)?
+            } else {
+                Transaction::decode_trusted(tx_bytes)?
+            });
+        }
+        let mut validation = Vec::with_capacity(txs.len());
+        for _ in 0..txs.len() {
+            validation.push(ValidationCode::from_byte(c.get_raw(1)?[0])?);
+        }
+        c.expect_end()?;
+        if verify {
+            let computed = Self::compute_data_hash(&txs);
+            if computed != data_hash {
+                return Err(Error::InvalidArgument(format!(
+                    "block {number} data hash mismatch"
+                )));
+            }
+        }
+        Ok(Block {
+            header: BlockHeader {
+                number,
+                prev_hash,
+                data_hash,
+            },
+            txs,
+            validation,
+        })
+    }
+
+    /// Number of transactions.
+    pub fn tx_count(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{KvWrite, Transaction};
+    use bytes::Bytes;
+
+    fn tx(ts: u64, key: &str, value: &str) -> Transaction {
+        Transaction::new(
+            ts,
+            vec![],
+            vec![KvWrite {
+                key: Bytes::copy_from_slice(key.as_bytes()),
+                value: Some(Bytes::copy_from_slice(value.as_bytes())),
+            }],
+        )
+        .unwrap()
+    }
+
+    fn block(number: u64, prev: Digest, n_tx: usize) -> Block {
+        let txs: Vec<Transaction> = (0..n_tx)
+            .map(|i| tx(i as u64, &format!("key{i}"), &format!("val{i}")))
+            .collect();
+        let validation = vec![ValidationCode::Valid; txs.len()];
+        Block::new(number, prev, txs, validation).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let b = block(7, Digest::ZERO, 5);
+        let decoded = Block::decode(&b.encode()).unwrap();
+        assert_eq!(b, decoded);
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let b = block(0, Digest::ZERO, 0);
+        let decoded = Block::decode(&b.encode()).unwrap();
+        assert_eq!(decoded.tx_count(), 0);
+    }
+
+    #[test]
+    fn hash_chain_links() {
+        let genesis = block(0, Digest::ZERO, 2);
+        let next = block(1, genesis.hash(), 3);
+        assert_eq!(next.header.prev_hash, genesis.hash());
+        assert_ne!(genesis.hash(), next.hash());
+    }
+
+    #[test]
+    fn data_hash_commits_to_txs() {
+        let a = block(1, Digest::ZERO, 2);
+        let mut txs = a.txs.clone();
+        txs[0] = tx(99, "tampered", "tx");
+        let b = Block::new(1, Digest::ZERO, txs, vec![ValidationCode::Valid; 2]).unwrap();
+        assert_ne!(a.header.data_hash, b.header.data_hash);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn tampered_tx_bytes_rejected_at_decode() {
+        let b = block(1, Digest::ZERO, 2);
+        let mut enc = b.encode();
+        // Flip a byte inside the first transaction's value region.
+        let n = enc.len();
+        enc[n / 2] ^= 0x01;
+        assert!(Block::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn mismatched_validation_count_rejected() {
+        let txs = vec![tx(1, "k", "v")];
+        assert!(Block::new(0, Digest::ZERO, txs, vec![]).is_err());
+    }
+
+    #[test]
+    fn validation_codes_roundtrip() {
+        let txs = vec![tx(1, "a", "1"), tx(2, "b", "2")];
+        let b = Block::new(
+            3,
+            Digest::ZERO,
+            txs,
+            vec![ValidationCode::Valid, ValidationCode::MvccConflict],
+        )
+        .unwrap();
+        let decoded = Block::decode(&b.encode()).unwrap();
+        assert_eq!(
+            decoded.validation,
+            vec![ValidationCode::Valid, ValidationCode::MvccConflict]
+        );
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let enc = block(1, Digest::ZERO, 2).encode();
+        for cut in [0, 8, 40, 71, enc.len() - 1] {
+            assert!(Block::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

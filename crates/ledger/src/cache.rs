@@ -1,0 +1,148 @@
+//! Optional LRU block cache.
+//!
+//! Fabric v1.0 deserializes blocks on every history read — the paper's cost
+//! model depends on that — so the cache is **disabled by default** and
+//! exists for the ablation benchmark that quantifies how much of the
+//! paper's effect a block cache would absorb.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::Block;
+use crate::tx::BlockNum;
+
+struct CacheInner {
+    map: HashMap<BlockNum, (u64, Arc<Block>)>,
+    /// Monotonic use-counter; the entry with the smallest stamp is evicted.
+    tick: u64,
+    capacity: usize,
+}
+
+/// A small LRU cache of deserialized blocks, keyed by block number.
+pub struct BlockCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BlockCache")
+            .field("capacity", &inner.capacity)
+            .field("len", &inner.map.len())
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// Cache holding at most `capacity` blocks. Zero capacity is allowed
+    /// and caches nothing.
+    pub fn new(capacity: usize) -> Self {
+        BlockCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::with_capacity(capacity),
+                tick: 0,
+                capacity,
+            }),
+        }
+    }
+
+    /// Fetch a block, refreshing its recency.
+    pub fn get(&self, num: BlockNum) -> Option<Arc<Block>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let (stamp, block) = inner.map.get_mut(&num)?;
+        *stamp = tick;
+        Some(block.clone())
+    }
+
+    /// Insert a block, evicting the least-recently-used entry if full.
+    pub fn put(&self, num: BlockNum, block: Arc<Block>) {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&num) {
+            if let Some((&lru, _)) = inner.map.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(num, (tick, block));
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached block.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Digest;
+
+    fn block(n: u64) -> Arc<Block> {
+        Arc::new(Block::new(n, Digest::ZERO, vec![], vec![]).unwrap())
+    }
+
+    #[test]
+    fn put_get() {
+        let c = BlockCache::new(4);
+        c.put(1, block(1));
+        assert_eq!(c.get(1).unwrap().header.number, 1);
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = BlockCache::new(2);
+        c.put(1, block(1));
+        c.put(2, block(2));
+        c.get(1); // refresh 1: now 2 is the LRU
+        c.put(3, block(3));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none(), "2 should have been evicted");
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_existing_does_not_evict() {
+        let c = BlockCache::new(2);
+        c.put(1, block(1));
+        c.put(2, block(2));
+        c.put(2, block(2)); // overwrite, not a growth
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let c = BlockCache::new(0);
+        c.put(1, block(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = BlockCache::new(4);
+        c.put(1, block(1));
+        c.clear();
+        assert!(c.get(1).is_none());
+    }
+}

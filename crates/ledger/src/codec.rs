@@ -1,0 +1,234 @@
+//! Binary codec primitives shared by the block and transaction formats.
+//!
+//! A small, explicit, versionless TLV-free format: unsigned LEB128 varints,
+//! length-prefixed byte strings, fixed-width little-endian integers. Every
+//! decoder consumes from a [`Cursor`] that yields structured errors on
+//! truncation instead of panicking.
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+
+/// Append an unsigned LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    put_uvarint(out, data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+/// Append a fixed-width little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a fixed-width little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked read cursor over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Context used in error messages ("block 17", "tx payload", …).
+    what: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap `data`; `what` names the structure being decoded for errors.
+    pub fn new(data: &'a [u8], what: &'a str) -> Self {
+        Cursor { data, pos: 0, what }
+    }
+
+    fn truncated(&self, needed: &str) -> Error {
+        Error::InvalidArgument(format!(
+            "truncated {} at offset {}: expected {needed}",
+            self.what, self.pos
+        ))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` when all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail unless the cursor consumed every input byte.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::InvalidArgument(format!(
+                "{} has {} trailing bytes",
+                self.what,
+                self.remaining()
+            )))
+        }
+    }
+
+    /// Read an unsigned LEB128 varint.
+    pub fn get_uvarint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| self.truncated("varint"))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(Error::InvalidArgument(format!(
+                    "overlong varint in {} at offset {}",
+                    self.what, self.pos
+                )));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a length-prefixed byte string as a borrowed slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_uvarint()? as usize;
+        let slice = self
+            .data
+            .get(self.pos..self.pos + len)
+            .ok_or_else(|| self.truncated("byte string"))?;
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Read a length-prefixed byte string as owned [`Bytes`].
+    pub fn get_bytes_owned(&mut self) -> Result<Bytes> {
+        Ok(Bytes::copy_from_slice(self.get_bytes()?))
+    }
+
+    /// Read a fixed-width little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let slice = self
+            .data
+            .get(self.pos..self.pos + 8)
+            .ok_or_else(|| self.truncated("u64"))?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    /// Read a fixed-width little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let slice = self
+            .data
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.truncated("u32"))?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        let slice = self
+            .data
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| self.truncated("raw bytes"))?;
+        self.pos += n;
+        Ok(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut c = Cursor::new(&buf, "test");
+            assert_eq!(c.get_uvarint().unwrap(), v);
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_bytes(&mut buf, &[0u8; 300]);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.get_bytes().unwrap(), b"hello");
+        assert_eq!(c.get_bytes().unwrap(), b"");
+        assert_eq!(c.get_bytes().unwrap().len(), 300);
+        c.expect_end().unwrap();
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 0xDEAD_BEEF_0102_0304);
+        put_u32(&mut buf, 0xCAFE_BABE);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.get_u64().unwrap(), 0xDEAD_BEEF_0102_0304);
+        assert_eq!(c.get_u32().unwrap(), 0xCAFE_BABE);
+    }
+
+    #[test]
+    fn truncation_reports_context() {
+        let mut c = Cursor::new(&[0x05, b'a'], "my struct");
+        let err = c.get_bytes().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("my struct"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 7);
+        buf.push(0xFF);
+        let mut c = Cursor::new(&buf, "test");
+        c.get_uvarint().unwrap();
+        assert!(c.expect_end().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = vec![0x80u8; 11];
+        let mut c = Cursor::new(&buf, "test");
+        assert!(c.get_uvarint().is_err());
+    }
+
+    #[test]
+    fn get_raw_and_position_track() {
+        let buf = [1u8, 2, 3, 4, 5];
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.get_raw(2).unwrap(), &[1, 2]);
+        assert_eq!(c.position(), 2);
+        assert_eq!(c.remaining(), 3);
+        assert!(c.get_raw(4).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Ledger-wide I/O and call counters.
+//!
+//! These counters are the *deterministic* cost model of the reproduction:
+//! the paper's query times are dominated by block deserialization, so
+//! `blocks_deserialized` (and friends) reproduce the paper's comparisons
+//! independent of hardware. Wall-clock measurements are reported alongside,
+//! never instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counter set. Cheap to clone (it's an `Arc` inside consumers).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Blocks appended to block files.
+    pub blocks_written: AtomicU64,
+    /// Blocks read *and decoded* from block files (the paper's unit of
+    /// query cost). Cache hits do not count.
+    pub blocks_deserialized: AtomicU64,
+    /// Bytes read from block files for deserialization.
+    pub block_bytes_read: AtomicU64,
+    /// Bytes appended to block files.
+    pub block_bytes_written: AtomicU64,
+    /// Block-cache hits (reads served without deserialization).
+    pub cache_hits: AtomicU64,
+    /// `GetHistoryForKey` calls issued.
+    pub ghfk_calls: AtomicU64,
+    /// `GetState` calls issued.
+    pub get_state_calls: AtomicU64,
+    /// `GetStateByRange` calls issued.
+    pub range_scan_calls: AtomicU64,
+    /// Transactions committed (valid or not).
+    pub txs_committed: AtomicU64,
+    /// Blocks committed.
+    pub blocks_committed: AtomicU64,
+}
+
+impl IoStats {
+    /// New zeroed counter set behind an `Arc`.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    #[inline]
+    pub(crate) fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            blocks_deserialized: self.blocks_deserialized.load(Ordering::Relaxed),
+            block_bytes_read: self.block_bytes_read.load(Ordering::Relaxed),
+            block_bytes_written: self.block_bytes_written.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            ghfk_calls: self.ghfk_calls.load(Ordering::Relaxed),
+            get_state_calls: self.get_state_calls.load(Ordering::Relaxed),
+            range_scan_calls: self.range_scan_calls.load(Ordering::Relaxed),
+            txs_committed: self.txs_committed.load(Ordering::Relaxed),
+            blocks_committed: self.blocks_committed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Copyable snapshot of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// See [`IoStats::blocks_written`].
+    pub blocks_written: u64,
+    /// See [`IoStats::blocks_deserialized`].
+    pub blocks_deserialized: u64,
+    /// See [`IoStats::block_bytes_read`].
+    pub block_bytes_read: u64,
+    /// See [`IoStats::block_bytes_written`].
+    pub block_bytes_written: u64,
+    /// See [`IoStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`IoStats::ghfk_calls`].
+    pub ghfk_calls: u64,
+    /// See [`IoStats::get_state_calls`].
+    pub get_state_calls: u64,
+    /// See [`IoStats::range_scan_calls`].
+    pub range_scan_calls: u64,
+    /// See [`IoStats::txs_committed`].
+    pub txs_committed: u64,
+    /// See [`IoStats::blocks_committed`].
+    pub blocks_committed: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            blocks_deserialized: self
+                .blocks_deserialized
+                .saturating_sub(earlier.blocks_deserialized),
+            block_bytes_read: self.block_bytes_read.saturating_sub(earlier.block_bytes_read),
+            block_bytes_written: self
+                .block_bytes_written
+                .saturating_sub(earlier.block_bytes_written),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            ghfk_calls: self.ghfk_calls.saturating_sub(earlier.ghfk_calls),
+            get_state_calls: self.get_state_calls.saturating_sub(earlier.get_state_calls),
+            range_scan_calls: self.range_scan_calls.saturating_sub(earlier.range_scan_calls),
+            txs_committed: self.txs_committed.saturating_sub(earlier.txs_committed),
+            blocks_committed: self.blocks_committed.saturating_sub(earlier.blocks_committed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let stats = IoStats::new_shared();
+        IoStats::incr(&stats.ghfk_calls);
+        let first = stats.snapshot();
+        IoStats::incr(&stats.ghfk_calls);
+        IoStats::add(&stats.block_bytes_read, 500);
+        let second = stats.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.ghfk_calls, 1);
+        assert_eq!(d.block_bytes_read, 500);
+        assert_eq!(d.blocks_written, 0);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = IoStatsSnapshot {
+            ghfk_calls: 1,
+            ..Default::default()
+        };
+        let b = IoStatsSnapshot {
+            ghfk_calls: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.delta(&b).ghfk_calls, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The ordering service's block cutter.
+//!
+//! A single-peer deployment still runs consensus: transactions are queued
+//! and cut into blocks by batch-size rules, exactly like Fabric's solo
+//! orderer (`BatchSize.MaxMessageCount` / `PreferredMaxBytes`). The paper's
+//! experiments ran "a single peer but ... the consensus mechanism turned
+//! on"; this module is that mechanism's deterministic core.
+
+use crate::tx::Transaction;
+
+/// Accumulates transactions and decides where block boundaries fall.
+#[derive(Debug)]
+pub struct BlockCutter {
+    max_txs: usize,
+    max_bytes: usize,
+    pending: Vec<Transaction>,
+    pending_bytes: usize,
+}
+
+impl BlockCutter {
+    /// A cutter with the given batch limits (both at least 1 tx).
+    pub fn new(max_txs: usize, max_bytes: usize) -> Self {
+        BlockCutter {
+            max_txs: max_txs.max(1),
+            max_bytes: max_bytes.max(1),
+            pending: Vec::new(),
+            pending_bytes: 0,
+        }
+    }
+
+    /// Enqueue a transaction. Returns a full batch when the enqueue
+    /// completes one, following Fabric's rules:
+    ///
+    /// * a message that alone exceeds `max_bytes` is cut as its own batch
+    ///   (after first cutting whatever was pending);
+    /// * otherwise the batch is cut when it reaches `max_txs` messages or
+    ///   would exceed `max_bytes`.
+    ///
+    /// At most one of the returned batches is non-empty per call except in
+    /// the oversized-message case, hence the `Vec` of batches.
+    pub fn enqueue(&mut self, tx: Transaction) -> Vec<Vec<Transaction>> {
+        let tx_bytes = tx.encode().len();
+        let mut batches = Vec::new();
+        if tx_bytes > self.max_bytes {
+            if !self.pending.is_empty() {
+                batches.push(self.take_pending());
+            }
+            batches.push(vec![tx]);
+            return batches;
+        }
+        if self.pending_bytes + tx_bytes > self.max_bytes && !self.pending.is_empty() {
+            batches.push(self.take_pending());
+        }
+        self.pending.push(tx);
+        self.pending_bytes += tx_bytes;
+        if self.pending.len() >= self.max_txs {
+            batches.push(self.take_pending());
+        }
+        batches
+    }
+
+    /// Force-cut whatever is pending (the batch-timeout path).
+    pub fn cut(&mut self) -> Option<Vec<Transaction>> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.take_pending())
+        }
+    }
+
+    fn take_pending(&mut self) -> Vec<Transaction> {
+        self.pending_bytes = 0;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Number of queued, not-yet-cut transactions.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::KvWrite;
+    use bytes::Bytes;
+
+    fn tx(i: u64, value_len: usize) -> Transaction {
+        Transaction::new(
+            i,
+            vec![],
+            vec![KvWrite {
+                key: Bytes::copy_from_slice(format!("key{i}").as_bytes()),
+                value: Some(Bytes::from(vec![b'x'; value_len])),
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cuts_at_max_txs() {
+        let mut cutter = BlockCutter::new(3, 1 << 20);
+        assert!(cutter.enqueue(tx(1, 10)).is_empty());
+        assert!(cutter.enqueue(tx(2, 10)).is_empty());
+        let batches = cutter.enqueue(tx(3, 10));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(cutter.pending_len(), 0);
+    }
+
+    #[test]
+    fn cuts_at_max_bytes() {
+        // Each tx is ~120 bytes encoded; cap at 300 so the third tx
+        // overflows the batch.
+        let mut cutter = BlockCutter::new(100, 300);
+        let size = tx(1, 60).encode().len();
+        assert!(size > 100 && size < 300, "encoded size {size}");
+        assert!(cutter.enqueue(tx(1, 60)).is_empty());
+        assert!(cutter.enqueue(tx(2, 60)).is_empty());
+        let batches = cutter.enqueue(tx(3, 60));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 2, "first two cut, third stays pending");
+        assert_eq!(cutter.pending_len(), 1);
+    }
+
+    #[test]
+    fn oversized_tx_is_own_batch() {
+        let mut cutter = BlockCutter::new(10, 200);
+        assert!(cutter.enqueue(tx(1, 20)).is_empty());
+        let batches = cutter.enqueue(tx(2, 500));
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 1, "pending batch flushed first");
+        assert_eq!(batches[1].len(), 1, "oversized tx is its own batch");
+        assert_eq!(cutter.pending_len(), 0);
+    }
+
+    #[test]
+    fn oversized_tx_with_empty_pending() {
+        let mut cutter = BlockCutter::new(10, 100);
+        let batches = cutter.enqueue(tx(1, 500));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 1);
+    }
+
+    #[test]
+    fn manual_cut_flushes_pending() {
+        let mut cutter = BlockCutter::new(10, 1 << 20);
+        cutter.enqueue(tx(1, 10));
+        cutter.enqueue(tx(2, 10));
+        let batch = cutter.cut().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(cutter.cut().is_none());
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let mut cutter = BlockCutter::new(5, 1 << 20);
+        for i in 0..4 {
+            cutter.enqueue(tx(i, 10));
+        }
+        let batch = cutter.cut().unwrap();
+        let stamps: Vec<u64> = batch.iter().map(|t| t.timestamp).collect();
+        assert_eq!(stamps, vec![0, 1, 2, 3]);
+    }
+}

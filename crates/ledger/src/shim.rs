@@ -1,0 +1,254 @@
+//! The chaincode shim: transaction simulation with read/write-set capture.
+//!
+//! A [`TxSimulator`] is the Rust analogue of Fabric's `ChaincodeStub`.
+//! Chaincode logic calls `get_state` / `put_state` / `del_state` /
+//! `get_state_by_range` / `get_history_for_key` against it; reads record the
+//! observed versions (for MVCC validation at commit) and writes accumulate
+//! into the write set. `into_transaction` seals the simulation into a
+//! [`Transaction`] ready for [`crate::ledger::Ledger::submit`].
+//!
+//! Semantics mirror Fabric:
+//!
+//! * **Read-your-own-writes**: a `get_state` after a `put_state` in the same
+//!   simulation sees the pending write (and records *no* read-set entry for
+//!   it — there is no committed version to validate against).
+//! * **One state per key**: duplicate writes collapse, last one wins
+//!   (enforced again in [`Transaction::new`]).
+//! * Range and history reads do not add read-set entries (Fabric records
+//!   range-query info for phantom detection only in its QSCC paths; the
+//!   paper's workloads never rely on it).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::error::Result;
+use crate::ledger::{HistoryIterator, Ledger};
+use crate::statedb::VersionedValue;
+use crate::tx::{KvRead, KvWrite, Timestamp, Transaction};
+
+/// A transaction simulation in progress.
+pub struct TxSimulator<'l> {
+    ledger: &'l Ledger,
+    reads: Vec<KvRead>,
+    read_keys: HashMap<Bytes, ()>,
+    /// Pending writes in insertion order (later wins per key).
+    writes: Vec<KvWrite>,
+    pending: HashMap<Bytes, Option<Bytes>>,
+}
+
+impl<'l> TxSimulator<'l> {
+    /// Start a simulation against `ledger`'s committed state.
+    pub fn new(ledger: &'l Ledger) -> Self {
+        TxSimulator {
+            ledger,
+            reads: Vec::new(),
+            read_keys: HashMap::new(),
+            writes: Vec::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// `GetState`: pending write if present, else committed state (recording
+    /// the observed version in the read set).
+    pub fn get_state(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+        if let Some(pending) = self.pending.get(key) {
+            return Ok(pending.clone());
+        }
+        let committed = self.ledger.get_state(key)?;
+        let key = Bytes::copy_from_slice(key);
+        if !self.read_keys.contains_key(&key) {
+            self.read_keys.insert(key.clone(), ());
+            self.reads.push(KvRead {
+                key,
+                version: committed.as_ref().map(|v| v.version),
+            });
+        }
+        Ok(committed.map(|v| v.value))
+    }
+
+    /// `PutState`: queue a write of `key` → `value`.
+    pub fn put_state(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        let key = key.into();
+        let value = value.into();
+        self.pending.insert(key.clone(), Some(value.clone()));
+        self.writes.push(KvWrite {
+            key,
+            value: Some(value),
+        });
+    }
+
+    /// `DelState`: queue a deletion of `key`.
+    pub fn del_state(&mut self, key: impl Into<Bytes>) {
+        let key = key.into();
+        self.pending.insert(key.clone(), None);
+        self.writes.push(KvWrite { key, value: None });
+    }
+
+    /// `GetStateByRange` over committed state (pending writes are *not*
+    /// merged in, matching Fabric's simulator).
+    pub fn get_state_by_range(
+        &self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<Vec<(Bytes, VersionedValue)>> {
+        self.ledger.get_state_by_range(start, end)
+    }
+
+    /// `GetHistoryForKey` over committed history.
+    pub fn get_history_for_key(&self, key: &[u8]) -> Result<HistoryIterator<'l>> {
+        self.ledger.get_history_for_key(key)
+    }
+
+    /// Number of pending writes (after in-simulation overwrites).
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Seal the simulation into a transaction stamped with `timestamp`.
+    pub fn into_transaction(self, timestamp: Timestamp) -> Result<Transaction> {
+        Transaction::new(timestamp, self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LedgerConfig;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "shim-test-{}-{tag}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn ledger(dir: &TempDir) -> Ledger {
+        Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn simulate_and_commit() {
+        let dir = TempDir::new("commit");
+        let ledger = ledger(&dir);
+        let mut sim = TxSimulator::new(&ledger);
+        sim.put_state(&b"k"[..], &b"v"[..]);
+        let tx = sim.into_transaction(7).unwrap();
+        ledger.submit(tx).unwrap();
+        ledger.cut_block().unwrap();
+        assert_eq!(
+            ledger.get_state(b"k").unwrap().unwrap().value,
+            Bytes::from_static(b"v")
+        );
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let dir = TempDir::new("ryow");
+        let ledger = ledger(&dir);
+        let mut sim = TxSimulator::new(&ledger);
+        assert!(sim.get_state(b"k").unwrap().is_none());
+        sim.put_state(&b"k"[..], &b"pending"[..]);
+        assert_eq!(
+            sim.get_state(b"k").unwrap().unwrap(),
+            Bytes::from_static(b"pending")
+        );
+        sim.del_state(&b"k"[..]);
+        assert!(sim.get_state(b"k").unwrap().is_none());
+    }
+
+    #[test]
+    fn reads_record_versions_for_mvcc() {
+        let dir = TempDir::new("versions");
+        let ledger = ledger(&dir);
+        let mut sim = TxSimulator::new(&ledger);
+        sim.put_state(&b"k"[..], &b"v0"[..]);
+        ledger.submit(sim.into_transaction(1).unwrap()).unwrap();
+        ledger.cut_block().unwrap();
+
+        let mut sim = TxSimulator::new(&ledger);
+        assert!(sim.get_state(b"k").unwrap().is_some());
+        assert!(sim.get_state(b"missing").unwrap().is_none());
+        let tx = sim.into_transaction(2).unwrap();
+        assert_eq!(tx.reads.len(), 2);
+        let k_read = tx.reads.iter().find(|r| r.key == Bytes::from_static(b"k")).unwrap();
+        assert!(k_read.version.is_some());
+        let missing_read = tx
+            .reads
+            .iter()
+            .find(|r| r.key == Bytes::from_static(b"missing"))
+            .unwrap();
+        assert!(missing_read.version.is_none());
+    }
+
+    #[test]
+    fn duplicate_reads_recorded_once() {
+        let dir = TempDir::new("dupread");
+        let ledger = ledger(&dir);
+        let mut sim = TxSimulator::new(&ledger);
+        sim.get_state(b"k").unwrap();
+        sim.get_state(b"k").unwrap();
+        let tx = sim.into_transaction(1).unwrap();
+        assert_eq!(tx.reads.len(), 1);
+    }
+
+    #[test]
+    fn read_after_own_write_adds_no_read_entry() {
+        let dir = TempDir::new("ryow-noread");
+        let ledger = ledger(&dir);
+        let mut sim = TxSimulator::new(&ledger);
+        sim.put_state(&b"k"[..], &b"v"[..]);
+        sim.get_state(b"k").unwrap();
+        let tx = sim.into_transaction(1).unwrap();
+        assert!(tx.reads.is_empty());
+    }
+
+    #[test]
+    fn one_state_per_key_persisted() {
+        let dir = TempDir::new("lastwrite");
+        let ledger = ledger(&dir);
+        let mut sim = TxSimulator::new(&ledger);
+        sim.put_state(&b"k"[..], &b"first"[..]);
+        sim.put_state(&b"k"[..], &b"second"[..]);
+        assert_eq!(sim.pending_writes(), 1);
+        let tx = sim.into_transaction(1).unwrap();
+        assert_eq!(tx.writes.len(), 1);
+        ledger.submit(tx).unwrap();
+        ledger.cut_block().unwrap();
+        let history = ledger
+            .get_history_for_key(b"k")
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        assert_eq!(history.len(), 1, "only one state per key per tx");
+        assert_eq!(history[0].value.as_deref(), Some(&b"second"[..]));
+    }
+
+    #[test]
+    fn range_and_history_via_shim() {
+        let dir = TempDir::new("shimreads");
+        let ledger = ledger(&dir);
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            let mut sim = TxSimulator::new(&ledger);
+            sim.put_state(Bytes::copy_from_slice(k.as_bytes()), &b"v"[..]);
+            ledger.submit(sim.into_transaction(i as u64).unwrap()).unwrap();
+        }
+        ledger.cut_block().unwrap();
+        let sim = TxSimulator::new(&ledger);
+        assert_eq!(sim.get_state_by_range(Some(b"a"), Some(b"c")).unwrap().len(), 2);
+        let history = sim.get_history_for_key(b"b").unwrap().collect_all().unwrap();
+        assert_eq!(history.len(), 1);
+    }
+}

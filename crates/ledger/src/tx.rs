@@ -1,0 +1,399 @@
+//! Transactions and read/write sets.
+//!
+//! A transaction carries the read set (keys + the versions observed during
+//! simulation, used for MVCC validation at commit) and the write set (the
+//! key-value pairs to apply). Exactly as on Hyperledger Fabric, **a
+//! transaction persists at most one state per key**: if a simulation writes
+//! the same key twice, only the final write survives into the write set.
+
+use bytes::Bytes;
+
+use crate::codec::{put_bytes, put_u32, put_u64, put_uvarint, Cursor};
+use crate::error::{Error, Result};
+use crate::hash::{sha256, Digest};
+
+/// Logical timestamp. The workloads in this workspace use the paper's
+/// dimensionless event clock (0..=150K); nothing in the engine assumes a
+/// unit.
+pub type Timestamp = u64;
+
+/// Block sequence number (genesis = 0).
+pub type BlockNum = u64;
+
+/// Position of a transaction within its block.
+pub type TxNum = u32;
+
+/// A committed key version: which block/transaction last wrote it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Version {
+    /// Block that committed the write.
+    pub block_num: BlockNum,
+    /// Transaction index within that block.
+    pub tx_num: TxNum,
+}
+
+/// Transaction identifier: the SHA-256 of the transaction payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub Digest);
+
+impl std::fmt::Display for TxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0.short())
+    }
+}
+
+/// One entry of a transaction's write set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvWrite {
+    /// Key being written. Keys must not contain the `0x00` byte (reserved
+    /// as the separator in index composite keys).
+    pub key: Bytes,
+    /// New value; `None` deletes the key from the state database.
+    pub value: Option<Bytes>,
+}
+
+/// One entry of a transaction's read set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvRead {
+    /// Key that was read during simulation.
+    pub key: Bytes,
+    /// Version observed; `None` when the key did not exist.
+    pub version: Option<Version>,
+}
+
+/// Commit-time validation outcome, recorded in block metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationCode {
+    /// Transaction was applied to the state database.
+    Valid,
+    /// A read-set version no longer matched at commit time; the transaction
+    /// is in the block but its writes were discarded.
+    MvccConflict,
+}
+
+impl ValidationCode {
+    /// Single-byte wire encoding.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValidationCode::Valid => 0,
+            ValidationCode::MvccConflict => 1,
+        }
+    }
+
+    /// Inverse of [`ValidationCode::to_byte`].
+    pub fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(ValidationCode::Valid),
+            1 => Ok(ValidationCode::MvccConflict),
+            other => Err(Error::InvalidArgument(format!(
+                "unknown validation code {other}"
+            ))),
+        }
+    }
+}
+
+/// A transaction as submitted to the orderer and stored in a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Content-derived identifier.
+    pub id: TxId,
+    /// Logical commit timestamp assigned by the submitting client.
+    pub timestamp: Timestamp,
+    /// Keys read during simulation with their observed versions.
+    pub reads: Vec<KvRead>,
+    /// Key-value pairs to apply (at most one entry per key).
+    pub writes: Vec<KvWrite>,
+}
+
+impl Transaction {
+    /// Assemble a transaction, deduplicating writes (last write per key
+    /// wins — the Fabric rule) and deriving the content id.
+    pub fn new(timestamp: Timestamp, reads: Vec<KvRead>, writes: Vec<KvWrite>) -> Result<Self> {
+        for w in &writes {
+            if w.key.contains(&0u8) {
+                return Err(Error::InvalidArgument(format!(
+                    "key contains reserved 0x00 byte: {:?}",
+                    String::from_utf8_lossy(&w.key)
+                )));
+            }
+            if w.key.is_empty() {
+                return Err(Error::InvalidArgument("empty key".into()));
+            }
+        }
+        let writes = dedup_last_write_wins(writes);
+        let mut tx = Transaction {
+            id: TxId(Digest::ZERO),
+            timestamp,
+            reads,
+            writes,
+        };
+        tx.id = TxId(sha256(&tx.encode_payload()));
+        Ok(tx)
+    }
+
+    /// Encode the payload (everything except the id, which is derived).
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.writes.len() * 32);
+        put_u64(&mut out, self.timestamp);
+        put_uvarint(&mut out, self.reads.len() as u64);
+        for r in &self.reads {
+            put_bytes(&mut out, &r.key);
+            match r.version {
+                Some(v) => {
+                    out.push(1);
+                    put_u64(&mut out, v.block_num);
+                    put_u32(&mut out, v.tx_num);
+                }
+                None => out.push(0),
+            }
+        }
+        put_uvarint(&mut out, self.writes.len() as u64);
+        for w in &self.writes {
+            put_bytes(&mut out, &w.key);
+            match &w.value {
+                Some(v) => {
+                    out.push(1);
+                    put_bytes(&mut out, v);
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    /// Full wire encoding (id + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(32 + payload.len());
+        out.extend_from_slice(&self.id.0 .0);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a transaction and verify its content id.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        Self::decode_impl(data, true)
+    }
+
+    /// Decode without re-hashing the payload to check the stored id.
+    ///
+    /// Used on the block read path, where the enclosing block frame's CRC
+    /// already guarantees integrity; re-verifying every transaction id
+    /// would double the cost of the hot operation the whole evaluation
+    /// counts (block deserialization). [`Transaction::decode`] remains the
+    /// default for untrusted input.
+    pub fn decode_trusted(data: &[u8]) -> Result<Self> {
+        Self::decode_impl(data, false)
+    }
+
+    fn decode_impl(data: &[u8], verify: bool) -> Result<Self> {
+        let mut c = Cursor::new(data, "transaction");
+        let id_bytes: [u8; 32] = c
+            .get_raw(32)?
+            .try_into()
+            .expect("get_raw(32) returns 32 bytes");
+        let id = TxId(Digest(id_bytes));
+        let payload_start = c.position();
+        let timestamp = c.get_u64()?;
+        let read_count = c.get_uvarint()?;
+        let mut reads = Vec::with_capacity(read_count.min(1 << 20) as usize);
+        for _ in 0..read_count {
+            let key = c.get_bytes_owned()?;
+            let has_version = c.get_raw(1)?[0];
+            let version = match has_version {
+                0 => None,
+                1 => Some(Version {
+                    block_num: c.get_u64()?,
+                    tx_num: c.get_u32()?,
+                }),
+                other => {
+                    return Err(Error::InvalidArgument(format!(
+                        "bad version flag {other}"
+                    )))
+                }
+            };
+            reads.push(KvRead { key, version });
+        }
+        let write_count = c.get_uvarint()?;
+        let mut writes = Vec::with_capacity(write_count.min(1 << 20) as usize);
+        for _ in 0..write_count {
+            let key = c.get_bytes_owned()?;
+            let has_value = c.get_raw(1)?[0];
+            let value = match has_value {
+                0 => None,
+                1 => Some(c.get_bytes_owned()?),
+                other => {
+                    return Err(Error::InvalidArgument(format!("bad value flag {other}")))
+                }
+            };
+            writes.push(KvWrite { key, value });
+        }
+        c.expect_end()?;
+        if verify {
+            let computed = TxId(sha256(&data[payload_start..]));
+            if computed != id {
+                return Err(Error::InvalidArgument(format!(
+                    "transaction id mismatch: stored {id} computed {computed}"
+                )));
+            }
+        }
+        Ok(Transaction {
+            id,
+            timestamp,
+            reads,
+            writes,
+        })
+    }
+}
+
+/// Keep only the final write for each key, preserving the order of final
+/// occurrences (Fabric persists one state per key per transaction).
+fn dedup_last_write_wins(writes: Vec<KvWrite>) -> Vec<KvWrite> {
+    if writes.len() <= 1 {
+        return writes;
+    }
+    let mut last_index: std::collections::HashMap<Bytes, usize> = std::collections::HashMap::new();
+    for (i, w) in writes.iter().enumerate() {
+        last_index.insert(w.key.clone(), i);
+    }
+    writes
+        .into_iter()
+        .enumerate()
+        .filter(|(i, w)| last_index[&w.key] == *i)
+        .map(|(_, w)| w)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn simple_tx() -> Transaction {
+        Transaction::new(
+            42,
+            vec![KvRead {
+                key: b("read-key"),
+                version: Some(Version {
+                    block_num: 3,
+                    tx_num: 1,
+                }),
+            }],
+            vec![
+                KvWrite {
+                    key: b("write-key"),
+                    value: Some(b("value")),
+                },
+                KvWrite {
+                    key: b("deleted-key"),
+                    value: None,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tx = simple_tx();
+        let decoded = Transaction::decode(&tx.encode()).unwrap();
+        assert_eq!(tx, decoded);
+    }
+
+    #[test]
+    fn id_is_content_derived_and_stable() {
+        let a = simple_tx();
+        let b = simple_tx();
+        assert_eq!(a.id, b.id);
+        let c = Transaction::new(43, a.reads.clone(), a.writes.clone()).unwrap();
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn tampered_payload_detected() {
+        let tx = simple_tx();
+        let mut enc = tx.encode();
+        let n = enc.len();
+        enc[n - 1] ^= 0xFF;
+        assert!(Transaction::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn last_write_wins_per_key() {
+        let tx = Transaction::new(
+            1,
+            vec![],
+            vec![
+                KvWrite {
+                    key: b("k"),
+                    value: Some(b("first")),
+                },
+                KvWrite {
+                    key: b("other"),
+                    value: Some(b("x")),
+                },
+                KvWrite {
+                    key: b("k"),
+                    value: Some(b("second")),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(tx.writes.len(), 2);
+        let k_write = tx.writes.iter().find(|w| w.key == b("k")).unwrap();
+        assert_eq!(k_write.value.as_ref().unwrap(), &b("second"));
+    }
+
+    #[test]
+    fn rejects_nul_in_key() {
+        let res = Transaction::new(
+            1,
+            vec![],
+            vec![KvWrite {
+                key: Bytes::from_static(b"bad\0key"),
+                value: Some(b("v")),
+            }],
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn rejects_empty_key() {
+        let res = Transaction::new(
+            1,
+            vec![],
+            vec![KvWrite {
+                key: Bytes::new(),
+                value: Some(b("v")),
+            }],
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_read_write_sets_roundtrip() {
+        let tx = Transaction::new(0, vec![], vec![]).unwrap();
+        let decoded = Transaction::decode(&tx.encode()).unwrap();
+        assert_eq!(tx, decoded);
+        assert!(decoded.writes.is_empty());
+    }
+
+    #[test]
+    fn validation_code_roundtrip() {
+        for code in [ValidationCode::Valid, ValidationCode::MvccConflict] {
+            assert_eq!(ValidationCode::from_byte(code.to_byte()).unwrap(), code);
+        }
+        assert!(ValidationCode::from_byte(9).is_err());
+    }
+
+    #[test]
+    fn truncated_tx_rejected() {
+        let enc = simple_tx().encode();
+        for cut in [0, 10, 31, 40, enc.len() - 1] {
+            assert!(Transaction::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

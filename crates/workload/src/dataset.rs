@@ -1,0 +1,142 @@
+//! The paper's dataset presets (§IV-2) and scaled variants.
+//!
+//! | Dataset | nS | nC | nTr | nEv | dEv | t_max | total events |
+//! |---------|----|----|-----|-----|-----|-------|--------------|
+//! | DS1 | 400 | 100 | 20 | 2000 | uniform | 150K | 1M |
+//! | DS2 | 400 | 100 | 20 | 2000 | zipf    | 150K | 1M |
+//! | DS3 | 15  | 5   | 2  | 2000 | uniform | 150K | 40K |
+//!
+//! The `*_scaled` constructors shrink entity and event counts while keeping
+//! `t_max` proportions, for CI-friendly tests and criterion benches; the
+//! harness binaries use the full presets.
+
+use crate::generator::{EventDistribution, GeneratedWorkload, WorkloadParams};
+
+/// Which paper dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// 1M events, uniform.
+    Ds1,
+    /// 1M events, zipf.
+    Ds2,
+    /// 40K events, uniform.
+    Ds3,
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetId::Ds1 => f.write_str("DS1"),
+            DatasetId::Ds2 => f.write_str("DS2"),
+            DatasetId::Ds3 => f.write_str("DS3"),
+        }
+    }
+}
+
+/// Default seed used by all presets so that every run of the harness sees
+/// the same data.
+pub const DEFAULT_SEED: u64 = 0x1CDE_2018;
+
+/// Parameters for a paper dataset at full scale.
+pub fn params(id: DatasetId) -> WorkloadParams {
+    match id {
+        DatasetId::Ds1 => WorkloadParams {
+            shipments: 400,
+            containers: 100,
+            trucks: 20,
+            events_per_key: 2000,
+            distribution: EventDistribution::Uniform,
+            t_max: 150_000,
+            seed: DEFAULT_SEED,
+        },
+        DatasetId::Ds2 => WorkloadParams {
+            distribution: EventDistribution::Zipf,
+            ..params(DatasetId::Ds1)
+        },
+        DatasetId::Ds3 => WorkloadParams {
+            shipments: 15,
+            containers: 5,
+            trucks: 2,
+            ..params(DatasetId::Ds1)
+        },
+    }
+}
+
+/// Parameters for a dataset scaled down by `factor` (entities and events
+/// per key shrink by √factor each so total events shrink by ~`factor`;
+/// `t_max` shrinks by √factor to keep event density comparable).
+pub fn params_scaled(id: DatasetId, factor: u32) -> WorkloadParams {
+    let base = params(id);
+    let f = (factor as f64).sqrt();
+    let scale = |v: u32| ((v as f64 / f).round() as u32).max(1);
+    let mut p = WorkloadParams {
+        shipments: scale(base.shipments),
+        containers: scale(base.containers),
+        trucks: scale(base.trucks),
+        events_per_key: (scale(base.events_per_key) / 2).max(1) * 2,
+        distribution: base.distribution,
+        t_max: ((base.t_max as f64 / f) as u64).max(100),
+        seed: base.seed,
+    };
+    // DS3 is already tiny; keep at least a handful of entities.
+    p.shipments = p.shipments.max(3);
+    p.containers = p.containers.max(2);
+    p.trucks = p.trucks.max(1);
+    p
+}
+
+/// Generate a full-scale paper dataset.
+pub fn generate(id: DatasetId) -> GeneratedWorkload {
+    GeneratedWorkload::generate(params(id))
+}
+
+/// Generate a scaled-down dataset (see [`params_scaled`]).
+pub fn generate_scaled(id: DatasetId, factor: u32) -> GeneratedWorkload {
+    GeneratedWorkload::generate(params_scaled(id, factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ds1_matches_paper() {
+        let p = params(DatasetId::Ds1);
+        assert_eq!(p.total_events(), 1_000_000);
+        assert_eq!(p.total_keys(), 500);
+        assert_eq!(p.t_max, 150_000);
+    }
+
+    #[test]
+    fn ds2_differs_only_in_distribution() {
+        let p1 = params(DatasetId::Ds1);
+        let p2 = params(DatasetId::Ds2);
+        assert_eq!(p2.distribution, EventDistribution::Zipf);
+        assert_eq!(
+            (p1.shipments, p1.containers, p1.trucks, p1.events_per_key, p1.t_max),
+            (p2.shipments, p2.containers, p2.trucks, p2.events_per_key, p2.t_max)
+        );
+    }
+
+    #[test]
+    fn ds3_matches_paper() {
+        let p = params(DatasetId::Ds3);
+        assert_eq!(p.total_events(), 40_000);
+        assert_eq!(p.total_keys(), 20);
+    }
+
+    #[test]
+    fn scaling_reduces_size() {
+        let p = params_scaled(DatasetId::Ds1, 100);
+        assert!(p.total_events() <= 12_000, "{}", p.total_events());
+        assert!(p.shipments >= 3);
+        // And actually generates.
+        let w = GeneratedWorkload::generate(p);
+        assert_eq!(w.events.len() as u64, p.total_events());
+    }
+
+    #[test]
+    fn scale_factor_one_is_identity() {
+        assert_eq!(params_scaled(DatasetId::Ds3, 1), params(DatasetId::Ds3));
+    }
+}

@@ -1,0 +1,147 @@
+//! Supply-chain entities: shipments, containers, trucks.
+//!
+//! Shipments and containers are *keys* on the ledger (their load/unload
+//! events are states of those keys); trucks appear only inside event values
+//! (a container is loaded *onto* a truck). Key encoding is a fixed-width
+//! ASCII scheme (`S00042`) so lexicographic order matches numeric order and
+//! range scans like "all shipments" are single prefix scans.
+
+use bytes::Bytes;
+
+/// Kind of entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityKind {
+    /// A shipment (placed in containers).
+    Shipment,
+    /// A container (carries shipments, rides on trucks).
+    Container,
+    /// A truck (carries containers; never a ledger key).
+    Truck,
+}
+
+impl EntityKind {
+    /// One-letter key prefix.
+    pub fn prefix(self) -> u8 {
+        match self {
+            EntityKind::Shipment => b'S',
+            EntityKind::Container => b'C',
+            EntityKind::Truck => b'T',
+        }
+    }
+
+    /// Inverse of [`EntityKind::prefix`].
+    pub fn from_prefix(b: u8) -> Option<Self> {
+        match b {
+            b'S' => Some(EntityKind::Shipment),
+            b'C' => Some(EntityKind::Container),
+            b'T' => Some(EntityKind::Truck),
+            _ => None,
+        }
+    }
+}
+
+/// A typed entity identifier (kind + ordinal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId {
+    /// What kind of entity this is.
+    pub kind: EntityKind,
+    /// Zero-based ordinal within its kind.
+    pub index: u32,
+}
+
+impl EntityId {
+    /// A shipment id.
+    pub fn shipment(index: u32) -> Self {
+        EntityId {
+            kind: EntityKind::Shipment,
+            index,
+        }
+    }
+
+    /// A container id.
+    pub fn container(index: u32) -> Self {
+        EntityId {
+            kind: EntityKind::Container,
+            index,
+        }
+    }
+
+    /// A truck id.
+    pub fn truck(index: u32) -> Self {
+        EntityId {
+            kind: EntityKind::Truck,
+            index,
+        }
+    }
+
+    /// The ledger key: `S00042` (fixed width, sorts numerically).
+    pub fn key(&self) -> Bytes {
+        Bytes::from(format!("{}{:05}", self.kind.prefix() as char, self.index))
+    }
+
+    /// Parse a ledger key produced by [`EntityId::key`].
+    pub fn from_key(key: &[u8]) -> Option<Self> {
+        if key.len() != 6 {
+            return None;
+        }
+        let kind = EntityKind::from_prefix(key[0])?;
+        let index: u32 = std::str::from_utf8(&key[1..]).ok()?.parse().ok()?;
+        Some(EntityId { kind, index })
+    }
+
+    /// Key prefix selecting every entity of `kind` (for range scans).
+    pub fn kind_prefix(kind: EntityKind) -> Bytes {
+        Bytes::copy_from_slice(&[kind.prefix()])
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{:05}", self.kind.prefix() as char, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        for id in [
+            EntityId::shipment(0),
+            EntityId::container(42),
+            EntityId::truck(99_999),
+        ] {
+            assert_eq!(EntityId::from_key(&id.key()), Some(id));
+        }
+    }
+
+    #[test]
+    fn keys_sort_numerically() {
+        let k9 = EntityId::shipment(9).key();
+        let k10 = EntityId::shipment(10).key();
+        assert!(k9 < k10);
+    }
+
+    #[test]
+    fn kinds_partition_keyspace() {
+        let c = EntityId::container(999).key();
+        let s = EntityId::shipment(0).key();
+        let t = EntityId::truck(0).key();
+        assert!(c < s && s < t, "C* < S* < T*");
+    }
+
+    #[test]
+    fn from_key_rejects_garbage() {
+        assert_eq!(EntityId::from_key(b"X00001"), None);
+        assert_eq!(EntityId::from_key(b"S1"), None);
+        assert_eq!(EntityId::from_key(b"Sabcde"), None);
+        assert_eq!(EntityId::from_key(b""), None);
+    }
+
+    #[test]
+    fn display_matches_key() {
+        let id = EntityId::container(7);
+        assert_eq!(id.to_string().as_bytes(), &id.key()[..]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Load/unload events and their ledger value encoding.
+//!
+//! An event is one state of a shipment or container key:
+//!
+//! * `⟨s, (c, t, "l")⟩` — shipment `s` loaded into container `c` at `t`
+//! * `⟨s, (c, t, "ul")⟩` — shipment `s` unloaded from container `c` at `t`
+//! * `⟨c, (tr, t, "l"/"ul")⟩` — container `c` loaded onto / unloaded from
+//!   truck `tr` at `t`
+//!
+//! The value encoding is a compact fixed layout (`kind: u8`, `time: u64 LE`,
+//! `target: 6 ASCII bytes`) so that a million-event dataset stays small and
+//! decoding during joins is branch-free.
+
+use bytes::Bytes;
+
+use crate::entity::EntityId;
+
+/// Load or unload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The subject enters the target (shipment→container,
+    /// container→truck).
+    Load,
+    /// The subject leaves the target.
+    Unload,
+}
+
+impl EventKind {
+    /// Wire byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            EventKind::Load => b'l',
+            EventKind::Unload => b'u',
+        }
+    }
+
+    /// Inverse of [`EventKind::to_byte`].
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            b'l' => Some(EventKind::Load),
+            b'u' => Some(EventKind::Unload),
+            _ => None,
+        }
+    }
+}
+
+/// One load/unload event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// The ledger key this event is a state of (shipment or container).
+    pub subject: EntityId,
+    /// Where the subject was loaded/unloaded (container or truck).
+    pub target: EntityId,
+    /// Event time on the paper's dimensionless clock.
+    pub time: u64,
+    /// Load or unload.
+    pub kind: EventKind,
+}
+
+/// Encoded length of an event value.
+pub const EVENT_VALUE_LEN: usize = 1 + 8 + 6;
+
+impl Event {
+    /// Encode the `(target, t, kind)` value stored on the ledger.
+    pub fn encode_value(&self) -> Bytes {
+        let mut out = Vec::with_capacity(EVENT_VALUE_LEN);
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.target.key());
+        Bytes::from(out)
+    }
+
+    /// Decode a value for the given subject key. Returns `None` on any
+    /// structural mismatch.
+    pub fn decode_value(subject: EntityId, value: &[u8]) -> Option<Event> {
+        if value.len() != EVENT_VALUE_LEN {
+            return None;
+        }
+        let kind = EventKind::from_byte(value[0])?;
+        let time = u64::from_le_bytes(value[1..9].try_into().ok()?);
+        let target = EntityId::from_key(&value[9..15])?;
+        Some(Event {
+            subject,
+            target,
+            time,
+            kind,
+        })
+    }
+
+    /// The ledger key of the subject.
+    pub fn key(&self) -> Bytes {
+        self.subject.key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let ev = Event {
+            subject: EntityId::shipment(3),
+            target: EntityId::container(17),
+            time: 123_456,
+            kind: EventKind::Load,
+        };
+        let value = ev.encode_value();
+        assert_eq!(value.len(), EVENT_VALUE_LEN);
+        let decoded = Event::decode_value(EntityId::shipment(3), &value).unwrap();
+        assert_eq!(decoded, ev);
+    }
+
+    #[test]
+    fn unload_roundtrip() {
+        let ev = Event {
+            subject: EntityId::container(5),
+            target: EntityId::truck(2),
+            time: 0,
+            kind: EventKind::Unload,
+        };
+        let decoded = Event::decode_value(EntityId::container(5), &ev.encode_value()).unwrap();
+        assert_eq!(decoded.kind, EventKind::Unload);
+        assert_eq!(decoded.target, EntityId::truck(2));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let subject = EntityId::shipment(0);
+        assert!(Event::decode_value(subject, b"short").is_none());
+        let mut bad = vec![b'x']; // unknown kind byte
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        bad.extend_from_slice(b"C00001");
+        assert!(Event::decode_value(subject, &bad).is_none());
+        let mut bad_target = vec![b'l'];
+        bad_target.extend_from_slice(&0u64.to_le_bytes());
+        bad_target.extend_from_slice(b"Zabcde");
+        assert!(Event::decode_value(subject, &bad_target).is_none());
+    }
+
+    #[test]
+    fn kind_bytes_roundtrip() {
+        for k in [EventKind::Load, EventKind::Unload] {
+            assert_eq!(EventKind::from_byte(k.to_byte()), Some(k));
+        }
+        assert_eq!(EventKind::from_byte(b'z'), None);
+    }
+}

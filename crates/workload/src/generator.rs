@@ -1,0 +1,293 @@
+//! The synthetic event generator (paper §IV-2).
+//!
+//! Parameters: number of shipments / containers / trucks (`nS`, `nC`,
+//! `nTr`), events per key (`nEv`), load-event distribution (`dEv` — uniform
+//! or per-key zipf with `α ~ U(0,1)`), and the total time length `t_max`.
+//!
+//! Pairing rule: the paper draws load events from the distribution and picks
+//! each unload "randomly at any point before the start of the next load
+//! event". We implement the equivalent direct construction: draw `nEv`
+//! times per key from the distribution, sort them, and take consecutive
+//! pairs as (load, unload). The unload then always precedes the next load
+//! and follows the same marginal law.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::entity::{EntityId, EntityKind};
+use crate::event::{Event, EventKind};
+use crate::zipf::ZipfTime;
+
+/// Load-event time distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventDistribution {
+    /// Uniform over `[1, t_max]`.
+    Uniform,
+    /// Per-key truncated power law with exponent drawn from `U(0,1)`.
+    Zipf,
+}
+
+/// Generator parameters (paper Table-of-§IV naming in comments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// `nS` — number of shipments.
+    pub shipments: u32,
+    /// `nC` — number of containers.
+    pub containers: u32,
+    /// `nTr` — number of trucks.
+    pub trucks: u32,
+    /// `nEv` — events per key (must be even: load/unload pairs).
+    pub events_per_key: u32,
+    /// `dEv` — load-event distribution.
+    pub distribution: EventDistribution,
+    /// `t_max` — all events lie within `(0, t_max]`.
+    pub t_max: u64,
+    /// RNG seed (datasets are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Total number of events this parameterisation produces.
+    pub fn total_events(&self) -> u64 {
+        u64::from(self.shipments + self.containers) * u64::from(self.events_per_key)
+    }
+
+    /// Number of ledger keys (shipments + containers).
+    pub fn total_keys(&self) -> u32 {
+        self.shipments + self.containers
+    }
+}
+
+/// A generated dataset: all events, globally sorted by time.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The parameters that produced this dataset.
+    pub params: WorkloadParams,
+    /// Events sorted by `(time, subject)`.
+    pub events: Vec<Event>,
+}
+
+impl GeneratedWorkload {
+    /// Generate the dataset for `params`.
+    pub fn generate(params: WorkloadParams) -> Self {
+        assert!(
+            params.events_per_key.is_multiple_of(2),
+            "events_per_key must be even (load/unload pairs)"
+        );
+        assert!(params.t_max >= 2, "t_max too small");
+        assert!(params.shipments > 0 && params.containers > 0 && params.trucks > 0);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut events =
+            Vec::with_capacity(params.total_events() as usize);
+        // Shipments load into containers; containers load onto trucks.
+        for s in 0..params.shipments {
+            let subject = EntityId::shipment(s);
+            Self::generate_key_events(
+                &params,
+                &mut rng,
+                subject,
+                EntityKind::Container,
+                params.containers,
+                &mut events,
+            );
+        }
+        for c in 0..params.containers {
+            let subject = EntityId::container(c);
+            Self::generate_key_events(
+                &params,
+                &mut rng,
+                subject,
+                EntityKind::Truck,
+                params.trucks,
+                &mut events,
+            );
+        }
+        events.sort_by_key(|e| (e.time, e.subject));
+        GeneratedWorkload { params, events }
+    }
+
+    fn generate_key_events(
+        params: &WorkloadParams,
+        rng: &mut StdRng,
+        subject: EntityId,
+        target_kind: EntityKind,
+        target_count: u32,
+        out: &mut Vec<Event>,
+    ) {
+        let n = params.events_per_key as usize;
+        let zipf = match params.distribution {
+            EventDistribution::Uniform => None,
+            EventDistribution::Zipf => {
+                let alpha: f64 = rng.gen_range(0.0..1.0);
+                Some(ZipfTime::new(alpha, params.t_max))
+            }
+        };
+        let mut times: Vec<u64> = (0..n)
+            .map(|_| match &zipf {
+                Some(z) => z.sample(rng),
+                None => rng.gen_range(1..=params.t_max),
+            })
+            .collect();
+        times.sort_unstable();
+        for pair in times.chunks_exact(2) {
+            let target = EntityId {
+                kind: target_kind,
+                index: rng.gen_range(0..target_count),
+            };
+            out.push(Event {
+                subject,
+                target,
+                time: pair[0],
+                kind: EventKind::Load,
+            });
+            out.push(Event {
+                subject,
+                target,
+                time: pair[1],
+                kind: EventKind::Unload,
+            });
+        }
+    }
+
+    /// All ledger keys in this workload (shipments then containers).
+    pub fn keys(&self) -> Vec<EntityId> {
+        let mut keys =
+            Vec::with_capacity((self.params.shipments + self.params.containers) as usize);
+        keys.extend((0..self.params.shipments).map(EntityId::shipment));
+        keys.extend((0..self.params.containers).map(EntityId::container));
+        keys
+    }
+
+    /// Events of one subject, in time order.
+    pub fn events_for(&self, subject: EntityId) -> Vec<Event> {
+        let mut evs: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|e| e.subject == subject)
+            .copied()
+            .collect();
+        evs.sort_by_key(|e| e.time);
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_params(distribution: EventDistribution) -> WorkloadParams {
+        WorkloadParams {
+            shipments: 8,
+            containers: 4,
+            trucks: 2,
+            events_per_key: 40,
+            distribution,
+            t_max: 10_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn event_counts_match_params() {
+        let w = GeneratedWorkload::generate(small_params(EventDistribution::Uniform));
+        assert_eq!(w.events.len() as u64, w.params.total_events());
+        let mut per_key: HashMap<EntityId, usize> = HashMap::new();
+        for e in &w.events {
+            *per_key.entry(e.subject).or_default() += 1;
+        }
+        assert_eq!(per_key.len(), 12);
+        assert!(per_key.values().all(|&n| n == 40));
+    }
+
+    #[test]
+    fn events_globally_sorted_by_time() {
+        let w = GeneratedWorkload::generate(small_params(EventDistribution::Uniform));
+        assert!(w.events.windows(2).all(|p| p[0].time <= p[1].time));
+    }
+
+    #[test]
+    fn per_key_loads_and_unloads_alternate() {
+        let w = GeneratedWorkload::generate(small_params(EventDistribution::Uniform));
+        for key in w.keys() {
+            let evs = w.events_for(key);
+            assert_eq!(evs.len(), 40);
+            for (i, e) in evs.iter().enumerate() {
+                let expected = if i % 2 == 0 {
+                    EventKind::Load
+                } else {
+                    EventKind::Unload
+                };
+                // Ties in time can swap load/unload order after the stable
+                // sort; verify the multiset structure instead when tied.
+                if e.kind != expected {
+                    assert_eq!(
+                        evs[i - 1].time,
+                        e.time,
+                        "kind violation not explained by a time tie at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unload_matches_load_target() {
+        let w = GeneratedWorkload::generate(small_params(EventDistribution::Uniform));
+        for key in w.keys() {
+            let evs = w.events_for(key);
+            // Pairs share a target: reconstruct pairs by order of generation
+            // (load then unload with same target).
+            let loads: Vec<_> = evs.iter().filter(|e| e.kind == EventKind::Load).collect();
+            let unloads: Vec<_> = evs.iter().filter(|e| e.kind == EventKind::Unload).collect();
+            assert_eq!(loads.len(), unloads.len());
+        }
+    }
+
+    #[test]
+    fn targets_have_correct_kind() {
+        let w = GeneratedWorkload::generate(small_params(EventDistribution::Uniform));
+        for e in &w.events {
+            match e.subject.kind {
+                EntityKind::Shipment => assert_eq!(e.target.kind, EntityKind::Container),
+                EntityKind::Container => assert_eq!(e.target.kind, EntityKind::Truck),
+                EntityKind::Truck => panic!("trucks are never subjects"),
+            }
+            assert!(e.time >= 1 && e.time <= w.params.t_max);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = GeneratedWorkload::generate(small_params(EventDistribution::Zipf));
+        let b = GeneratedWorkload::generate(small_params(EventDistribution::Zipf));
+        assert_eq!(a.events, b.events);
+        let mut p = small_params(EventDistribution::Zipf);
+        p.seed = 43;
+        let c = GeneratedWorkload::generate(p);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn zipf_workload_skews_early() {
+        let mut p = small_params(EventDistribution::Zipf);
+        p.events_per_key = 400;
+        let w = GeneratedWorkload::generate(p);
+        let first_decile = w
+            .events
+            .iter()
+            .filter(|e| e.time <= p.t_max / 10)
+            .count() as f64
+            / w.events.len() as f64;
+        // Average over α∈U(0,1): substantially more than uniform's 10%.
+        assert!(first_decile > 0.2, "first_decile={first_decile}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_events_per_key_rejected() {
+        let mut p = small_params(EventDistribution::Uniform);
+        p.events_per_key = 3;
+        GeneratedWorkload::generate(p);
+    }
+}

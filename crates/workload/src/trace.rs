@@ -1,0 +1,205 @@
+//! Trace export/import: persist a generated workload as a CSV event trace.
+//!
+//! Useful for sharing exact benchmark inputs (the paper's datasets are
+//! synthetic and seeded, but a pinned trace survives generator changes),
+//! and for replaying production-shaped traces from other systems.
+//!
+//! Format: a header line, then one event per line —
+//! `subject,target,time,kind` with `kind ∈ {l, ul}` (the paper's own
+//! symbols for load/unload).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::entity::EntityId;
+use crate::event::{Event, EventKind};
+
+/// Header written at the top of every trace.
+pub const TRACE_HEADER: &str = "subject,target,time,kind";
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Malformed { line, detail } => {
+                write!(f, "malformed trace line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Serialise `events` as a CSV trace.
+pub fn write_trace(events: &[Event], out: impl Write) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{TRACE_HEADER}")?;
+    for ev in events {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            ev.subject,
+            ev.target,
+            ev.time,
+            match ev.kind {
+                EventKind::Load => "l",
+                EventKind::Unload => "ul",
+            }
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parse a CSV trace produced by [`write_trace`] (or hand-written in the
+/// same format). The header line is required; blank lines are ignored.
+pub fn read_trace(input: impl Read) -> Result<Vec<Event>, TraceError> {
+    let reader = BufReader::new(input);
+    let mut events = Vec::new();
+    let mut saw_header = false;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            if trimmed != TRACE_HEADER {
+                return Err(TraceError::Malformed {
+                    line: line_no,
+                    detail: format!("expected header '{TRACE_HEADER}'"),
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let bad = |detail: &str| TraceError::Malformed {
+            line: line_no,
+            detail: detail.to_string(),
+        };
+        let subject = parts
+            .next()
+            .and_then(|s| EntityId::from_key(s.as_bytes()))
+            .ok_or_else(|| bad("bad subject id"))?;
+        let target = parts
+            .next()
+            .and_then(|s| EntityId::from_key(s.as_bytes()))
+            .ok_or_else(|| bad("bad target id"))?;
+        let time: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad time"))?;
+        let kind = match parts.next() {
+            Some("l") => EventKind::Load,
+            Some("ul") => EventKind::Unload,
+            _ => return Err(bad("kind must be 'l' or 'ul'")),
+        };
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        events.push(Event {
+            subject,
+            target,
+            time,
+            kind,
+        });
+    }
+    if !saw_header {
+        return Err(TraceError::Malformed {
+            line: 0,
+            detail: "empty trace (missing header)".to_string(),
+        });
+    }
+    Ok(events)
+}
+
+/// Convenience: write a trace to a file path.
+pub fn save_trace(events: &[Event], path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+    write_trace(events, std::fs::File::create(path)?)
+}
+
+/// Convenience: read a trace from a file path.
+pub fn load_trace(path: impl AsRef<std::path::Path>) -> Result<Vec<Event>, TraceError> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_scaled, DatasetId};
+
+    #[test]
+    fn roundtrip_generated_workload() {
+        let w = generate_scaled(DatasetId::Ds3, 100);
+        let mut buf = Vec::new();
+        write_trace(&w.events, &mut buf).unwrap();
+        let parsed = read_trace(&buf[..]).unwrap();
+        assert_eq!(parsed, w.events);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let w = generate_scaled(DatasetId::Ds3, 200);
+        let path = std::env::temp_dir().join(format!("trace-test-{}.csv", std::process::id()));
+        save_trace(&w.events, &path).unwrap();
+        let parsed = load_trace(&path).unwrap();
+        assert_eq!(parsed, w.events);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn handcrafted_trace_parses() {
+        let text = "subject,target,time,kind\nS00001,C00002,100,l\nS00001,C00002,200,ul\n\n";
+        let events = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Load);
+        assert_eq!(events[1].time, 200);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let text = "S00001,C00002,100,l\n";
+        assert!(matches!(
+            read_trace(text.as_bytes()),
+            Err(TraceError::Malformed { line: 1, .. })
+        ));
+        assert!(read_trace(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let cases = [
+            ("subject,target,time,kind\nXXXXXX,C00002,100,l", "bad subject"),
+            ("subject,target,time,kind\nS00001,C00002,abc,l", "bad time"),
+            ("subject,target,time,kind\nS00001,C00002,100,x", "bad kind"),
+            ("subject,target,time,kind\nS00001,C00002,100,l,extra", "trailing"),
+        ];
+        for (text, what) in cases {
+            match read_trace(text.as_bytes()) {
+                Err(TraceError::Malformed { line: 2, .. }) => {}
+                other => panic!("{what}: expected malformed line 2, got {other:?}"),
+            }
+        }
+    }
+}

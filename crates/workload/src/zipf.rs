@@ -1,0 +1,112 @@
+//! Power-law ("zipf") time sampling.
+//!
+//! The paper's DS2 draws event times "zipf distributed" with "the zipf
+//! parameter ... chosen randomly between 0 and 1" per key, and observes
+//! that "more than half the events occur within interval (0-10K]". A
+//! bounded Pareto / truncated power law over `[1, t_max]` with density
+//! `f(x) ∝ x^{-α}` reproduces exactly that: for `α → 1`,
+//! `P(x ≤ 10K) = ln(10K)/ln(150K) ≈ 0.77`.
+//!
+//! Sampling uses the closed-form inverse CDF, so it is O(1) per draw and
+//! exact (no rejection loops).
+
+use rand::Rng;
+
+/// A truncated power-law sampler over `[1, max]` with exponent `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfTime {
+    alpha: f64,
+    max: u64,
+}
+
+impl ZipfTime {
+    /// Create a sampler. `alpha` must be in `[0, 1]` (the paper's range) and
+    /// `max ≥ 1`.
+    pub fn new(alpha: f64, max: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!(max >= 1, "max must be >= 1");
+        ZipfTime { alpha, max }
+    }
+
+    /// Draw one time in `[1, max]`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let n = self.max as f64;
+        let x = if (self.alpha - 1.0).abs() < 1e-9 {
+            // f(x) ∝ 1/x  ⇒  F⁻¹(u) = n^u
+            n.powf(u)
+        } else {
+            // f(x) ∝ x^{-α}  ⇒  F⁻¹(u) = (1 + u·(n^{1-α} − 1))^{1/(1-α)}
+            let one_minus = 1.0 - self.alpha;
+            (1.0 + u * (n.powf(one_minus) - 1.0)).powf(1.0 / one_minus)
+        };
+        (x as u64).clamp(1, self.max)
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fraction_below(alpha: f64, max: u64, cut: u64, n: usize) -> f64 {
+        let z = ZipfTime::new(alpha, max);
+        let mut rng = StdRng::seed_from_u64(7);
+        let below = (0..n).filter(|_| z.sample(&mut rng) <= cut).count();
+        below as f64 / n as f64
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        // With α=0 the law is uniform: ~6.7% of draws land in the first 10K
+        // of 150K.
+        let frac = fraction_below(0.0, 150_000, 10_000, 50_000);
+        assert!((frac - 0.0667).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn alpha_near_one_concentrates_early() {
+        // ln(10K)/ln(150K) ≈ 0.772 — "more than half the events" early,
+        // matching the paper's DS2 description.
+        let frac = fraction_below(1.0, 150_000, 10_000, 50_000);
+        assert!(frac > 0.5, "frac={frac}");
+        assert!((frac - 0.772).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn intermediate_alpha_is_monotone() {
+        let f0 = fraction_below(0.0, 150_000, 10_000, 30_000);
+        let f5 = fraction_below(0.5, 150_000, 10_000, 30_000);
+        let f9 = fraction_below(0.95, 150_000, 10_000, 30_000);
+        assert!(f0 < f5 && f5 < f9, "{f0} {f5} {f9}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfTime::new(0.7, 1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((1..=1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn degenerate_max_one() {
+        let z = ZipfTime::new(0.5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        ZipfTime::new(1.5, 100);
+    }
+}

@@ -1,0 +1,1 @@
+//! Placeholder lib for the examples package.

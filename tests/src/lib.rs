@@ -1,0 +1,1 @@
+// test helpers live in tests/ files
