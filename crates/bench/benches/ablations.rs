@@ -7,6 +7,9 @@
 //!   would an LRU block cache absorb?
 //! * **Partition strategy** — the paper's fixed-`u` vs the future-work
 //!   event-count-balanced strategy, on zipf-skewed DS2.
+//! * **Telemetry overhead** — disabled telemetry must be free (a relaxed
+//!   atomic load per instrument site); enabled telemetry should stay in
+//!   the low single-digit percent for query work.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -87,7 +90,13 @@ fn bench_block_cache(c: &mut Criterion) {
             LedgerConfig::default().with_cache_blocks(cache_blocks),
         )
         .unwrap();
-        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         ledger
     };
     let uncached = build("off", 0);
@@ -98,7 +107,12 @@ fn bench_block_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/block_cache_tqf_late");
     g.sample_size(10);
     g.bench_function("cache-off", |b| {
-        b.iter(|| ferry_query(&TqfEngine, &uncached, tau).unwrap().records.len())
+        b.iter(|| {
+            ferry_query(&TqfEngine, &uncached, tau)
+                .unwrap()
+                .records
+                .len()
+        })
     });
     g.bench_function("cache-on-warm", |b| {
         b.iter(|| ferry_query(&TqfEngine, &cached, tau).unwrap().records.len())
@@ -119,14 +133,26 @@ fn bench_partition_strategies(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&root);
 
     let fixed_ledger = Ledger::open(root.join("fixed"), LedgerConfig::default()).unwrap();
-    ingest(&fixed_ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &fixed_ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let strategy = FixedLength { u };
     M1Indexer::fixed(&strategy)
         .run_epoch(&fixed_ledger, &workload.keys(), Interval::new(0, t_max))
         .unwrap();
 
     let balanced_ledger = Ledger::open(root.join("balanced"), LedgerConfig::default()).unwrap();
-    ingest(&balanced_ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &balanced_ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let balanced = EventCountBalanced {
         target_events: per_interval_target,
     };
@@ -185,11 +211,84 @@ fn bench_parallel_query(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // kvstore micro: the same store read through a disabled telemetry
+    // handle vs an enabled one. The disabled case is the zero-cost claim —
+    // it must be indistinguishable (<2%) from a store built before the
+    // telemetry layer existed.
+    use fabric_kvstore::{KvStore, Options};
+    use fabric_telemetry::Telemetry;
+    let root = std::env::temp_dir().join(format!("ablation-tel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let tel = Telemetry::disabled();
+    let store =
+        KvStore::open_with_telemetry(root.join("kv"), Options::default(), tel.clone()).unwrap();
+    for i in 0..10_000u32 {
+        store
+            .put(format!("key{i:06}").into_bytes(), vec![0u8; 64])
+            .unwrap();
+    }
+    store.flush().unwrap();
+
+    let mut g = c.benchmark_group("ablation/telemetry_kvstore_get");
+    let mut i = 0u32;
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            store.get(format!("key{i:06}").as_bytes()).unwrap()
+        })
+    });
+    tel.enable();
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            store.get(format!("key{i:06}").as_bytes()).unwrap()
+        })
+    });
+    tel.disable();
+    g.finish();
+
+    // Query meso: a whole ferry join with telemetry off vs on (spans for
+    // every GHFK call and block deserialization).
+    let ctx = Ctx::with_scale(SCALE);
+    let id = DatasetId::Ds1;
+    let u = ctx.scale_time(id, 2000);
+    let ledger = ctx
+        .m1_ledger(id, IngestMode::MultiEvent, u)
+        .expect("m1 fixture");
+    let t_max = ctx.t_max(id);
+    let tau = Interval::new(t_max - t_max / 15, t_max);
+    let mut g = c.benchmark_group("ablation/telemetry_ferry_query");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            ferry_query(&M1Engine::default(), &ledger, tau)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
+    ledger.telemetry().enable();
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            ledger.telemetry().reset();
+            ferry_query(&M1Engine::default(), &ledger, tau)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
+    ledger.telemetry().disable();
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 criterion_group!(
     benches,
     bench_lazy_vs_eager_ghfk,
     bench_block_cache,
     bench_partition_strategies,
-    bench_parallel_query
+    bench_parallel_query,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

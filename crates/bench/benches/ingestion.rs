@@ -30,7 +30,10 @@ fn bench_ingestion_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3/ingest");
     g.sample_size(10);
     g.throughput(Throughput::Elements(n));
-    for (label, mode) in [("se", IngestMode::SingleEvent), ("me", IngestMode::MultiEvent)] {
+    for (label, mode) in [
+        ("se", IngestMode::SingleEvent),
+        ("me", IngestMode::MultiEvent),
+    ] {
         g.bench_function(format!("{label}-identity"), |b| {
             b.iter_batched(
                 || fresh_ledger(label),
@@ -49,8 +52,13 @@ fn bench_ingestion_modes(c: &mut Criterion) {
         b.iter_batched(
             || fresh_ledger("m2"),
             |(dir, ledger)| {
-                ingest(&ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u })
-                    .unwrap();
+                ingest(
+                    &ledger,
+                    &workload.events,
+                    IngestMode::MultiEvent,
+                    &M2Encoder { u },
+                )
+                .unwrap();
                 let _ = std::fs::remove_dir_all(dir);
             },
             BatchSize::PerIteration,
@@ -73,8 +81,13 @@ fn bench_m1_index_build(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (dir, ledger) = fresh_ledger("m1build");
-                ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder)
-                    .unwrap();
+                ingest(
+                    &ledger,
+                    &workload.events,
+                    IngestMode::MultiEvent,
+                    &IdentityEncoder,
+                )
+                .unwrap();
                 (dir, ledger)
             },
             |(dir, ledger)| {

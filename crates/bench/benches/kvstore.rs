@@ -41,7 +41,8 @@ fn bench_puts(c: &mut Criterion) {
     g.bench_function("single", |b| {
         b.iter(|| {
             i += 1;
-            db.put(format!("key{i:012}"), &b"value-bytes-here"[..]).unwrap();
+            db.put(format!("key{i:012}"), &b"value-bytes-here"[..])
+                .unwrap();
         })
     });
     let mut j = 0u64;
@@ -136,7 +137,8 @@ fn bench_maintenance(c: &mut Criterion) {
                 let db = KvStore::open(&dir.0, Options::default()).unwrap();
                 for round in 0..4 {
                     for i in 0..2500 {
-                        db.put(format!("key{i:08}"), format!("round{round}")).unwrap();
+                        db.put(format!("key{i:08}"), format!("round{round}"))
+                            .unwrap();
                     }
                     db.flush().unwrap();
                 }
@@ -149,5 +151,11 @@ fn bench_maintenance(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_puts, bench_gets, bench_range, bench_maintenance);
+criterion_group!(
+    benches,
+    bench_puts,
+    bench_gets,
+    bench_range,
+    bench_maintenance
+);
 criterion_main!(benches);

@@ -40,7 +40,12 @@ fn bench_join_models(c: &mut Criterion) {
     g.sample_size(20);
     for (label, tau) in [("early", early), ("late", late)] {
         g.bench_function(format!("tqf/{label}"), |b| {
-            b.iter(|| ferry_query(&TqfEngine, &m1_ledger, tau).unwrap().records.len())
+            b.iter(|| {
+                ferry_query(&TqfEngine, &m1_ledger, tau)
+                    .unwrap()
+                    .records
+                    .len()
+            })
         });
         g.bench_function(format!("m1/{label}"), |b| {
             b.iter(|| {
@@ -78,7 +83,12 @@ fn bench_events_for_key(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table1/events_for_key_late");
     g.bench_function("tqf", |b| {
-        b.iter(|| TqfEngine.events_for_key(&m1_ledger, key, tau).unwrap().len())
+        b.iter(|| {
+            TqfEngine
+                .events_for_key(&m1_ledger, key, tau)
+                .unwrap()
+                .len()
+        })
     });
     g.bench_function("m1", |b| {
         b.iter(|| {
@@ -124,5 +134,10 @@ fn bench_u_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_join_models, bench_events_for_key, bench_u_sweep);
+criterion_group!(
+    benches,
+    bench_join_models,
+    bench_events_for_key,
+    bench_u_sweep
+);
 criterion_main!(benches);

@@ -27,11 +27,15 @@ pub struct Ctx {
     pub data_root: PathBuf,
     /// Counter → simulated-seconds model (paper-hardware calibration).
     pub sim: SimCostModel,
+    /// Emit per-run telemetry JSON-lines alongside the usual CSV results
+    /// (`--telemetry` / `TF_TELEMETRY=1`).
+    pub telemetry: bool,
 }
 
 impl Ctx {
-    /// Build from `TF_SCALE` / `TF_DATA_ROOT` env vars and argv
-    /// (`--scale n` wins over the env var).
+    /// Build from `TF_SCALE` / `TF_DATA_ROOT` / `TF_TELEMETRY` env vars and
+    /// argv (`--scale n` wins over the env var; `--telemetry` enables
+    /// telemetry emission).
     pub fn from_env() -> Self {
         let mut scale = std::env::var("TF_SCALE")
             .ok()
@@ -43,6 +47,8 @@ impl Ctx {
                 scale = v;
             }
         }
+        let telemetry = args.iter().any(|a| a == "--telemetry")
+            || std::env::var("TF_TELEMETRY").is_ok_and(|v| !v.is_empty() && v != "0");
         let data_root = std::env::var("TF_DATA_ROOT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| {
@@ -52,6 +58,7 @@ impl Ctx {
             scale: scale.max(1),
             data_root,
             sim: SimCostModel::default(),
+            telemetry,
         }
     }
 
@@ -100,7 +107,9 @@ impl Ctx {
     }
 
     fn cache_dir(&self, name: &str) -> PathBuf {
-        self.data_root.join(format!("scale{}", self.scale)).join(name)
+        self.data_root
+            .join(format!("scale{}", self.scale))
+            .join(name)
     }
 
     /// Open the cached ledger `name`, building it with `build` on a miss.
@@ -182,6 +191,25 @@ impl Ctx {
             eprintln!("warning: could not save {}: {e}", path.display());
         }
     }
+}
+
+/// Run `f` with the ledger's telemetry enabled and freshly reset, returning
+/// `f`'s result alongside the registry snapshot covering exactly that run.
+/// The previous enabled/disabled state is restored afterwards.
+pub fn with_telemetry<T>(
+    ledger: &Ledger,
+    f: impl FnOnce() -> T,
+) -> (T, fabric_telemetry::RegistrySnapshot) {
+    let tel = ledger.telemetry();
+    let was_enabled = tel.is_enabled();
+    tel.enable();
+    tel.reset();
+    let out = f();
+    let snapshot = tel.snapshot();
+    if !was_enabled {
+        tel.disable();
+    }
+    (out, snapshot)
 }
 
 /// Copy a ledger cache directory (used to fork a base ledger before
@@ -323,6 +351,44 @@ mod tests {
         let ctx = Ctx::with_scale(100);
         let scaled = ctx.scale_time(DatasetId::Ds1, 2000);
         assert!((100..=400).contains(&scaled), "scaled={scaled}");
+    }
+
+    #[test]
+    fn telemetry_counter_matches_iostats_delta() {
+        use fabric_workload::{EntityId, Event, EventKind};
+        use temporal_core::join::ferry_query;
+        use temporal_core::tqf::TqfEngine;
+        let dir = std::env::temp_dir().join(format!(
+            "harness-tel-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ledger = Ledger::open(&dir, LedgerConfig::small_for_tests()).unwrap();
+        let events: Vec<Event> = (1..=40u64)
+            .map(|i| Event {
+                subject: EntityId::shipment(0),
+                target: EntityId::container(0),
+                time: i * 10,
+                kind: if i % 2 == 1 {
+                    EventKind::Load
+                } else {
+                    EventKind::Unload
+                },
+            })
+            .collect();
+        ingest(&ledger, &events, IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let (outcome, snapshot) = with_telemetry(&ledger, || {
+            ferry_query(&TqfEngine, &ledger, Interval::new(0, 400)).unwrap()
+        });
+        assert_eq!(
+            snapshot.counter("ledger.blocks.deserialized"),
+            outcome.stats.blocks_deserialized(),
+            "telemetry counter must match the IoStats delta exactly"
+        );
+        assert!(outcome.stats.blocks_deserialized() > 0);
+        assert!(!ledger.telemetry().is_enabled(), "state must be restored");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use temporal_core::m2::M2Engine;
 use temporal_core::tqf::TqfEngine;
 use temporal_core::TemporalEngine;
 
-use crate::harness::{fmt_secs, Ctx, TableOut};
+use crate::harness::{fmt_secs, with_telemetry, Ctx, TableOut};
 
 struct Cell {
     join_wall: std::time::Duration,
@@ -30,16 +30,52 @@ fn run_engine(
     engine: &dyn TemporalEngine,
     ledger: &Ledger,
     tau: temporal_core::Interval,
-) -> Result<Cell> {
-    let outcome = ferry_query(engine, ledger, tau)?;
-    Ok(Cell {
+) -> Result<(Cell, Option<fabric_telemetry::RegistrySnapshot>)> {
+    let (outcome, snapshot) = if ctx.telemetry {
+        let (outcome, snapshot) = with_telemetry(ledger, || ferry_query(engine, ledger, tau));
+        (outcome?, Some(snapshot))
+    } else {
+        (ferry_query(engine, ledger, tau)?, None)
+    };
+    let cell = Cell {
         join_wall: outcome.stats.wall,
         ghfk_wall: outcome.retrieval_wall,
         ghfk_calls: outcome.stats.ghfk_calls(),
         blocks: outcome.stats.blocks_deserialized(),
         sim_secs: ctx.sim.simulate(&outcome.stats),
         records: outcome.records.len(),
-    })
+    };
+    if let Some(snapshot) = &snapshot {
+        // The span-fed counter and the IoStats counter increment in
+        // lock-step; a mismatch means an uninstrumented read path.
+        assert_eq!(
+            snapshot.counter("ledger.blocks.deserialized"),
+            cell.blocks,
+            "telemetry counter diverged from IoStats for {}",
+            engine.name()
+        );
+    }
+    Ok((cell, snapshot))
+}
+
+fn telemetry_line(
+    snapshot: fabric_telemetry::RegistrySnapshot,
+    id: DatasetId,
+    mode: IngestMode,
+    engine: &str,
+    tau: temporal_core::Interval,
+    cell: &Cell,
+) -> String {
+    fabric_telemetry::Report::new(snapshot)
+        .with("table", "table1")
+        .with("dataset", id.to_string())
+        .with("mode", mode.to_string())
+        .with("engine", engine)
+        .with("tau_start", tau.start.to_string())
+        .with("tau_end", tau.end.to_string())
+        .with("records", cell.records.to_string())
+        .with("iostats_blocks_deserialized", cell.blocks.to_string())
+        .json_line()
 }
 
 /// Run the full Table I reproduction.
@@ -50,12 +86,26 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         ctx.scale
     ));
     let mut csv = TableOut::new(&[
-        "dataset", "mode", "engine", "tau_start", "tau_end", "join_s", "ghfk_s", "ghfk_calls",
-        "blocks_deserialized", "sim_s", "records",
+        "dataset",
+        "mode",
+        "engine",
+        "tau_start",
+        "tau_end",
+        "join_s",
+        "ghfk_s",
+        "ghfk_calls",
+        "blocks_deserialized",
+        "sim_s",
+        "records",
     ]);
+    let mut jsonl = String::new();
 
     for (id, mode, m2_us) in [
-        (DatasetId::Ds1, IngestMode::MultiEvent, vec![2000u64, 50_000]),
+        (
+            DatasetId::Ds1,
+            IngestMode::MultiEvent,
+            vec![2000u64, 50_000],
+        ),
         (DatasetId::Ds2, IngestMode::MultiEvent, vec![2000]),
         (DatasetId::Ds3, IngestMode::SingleEvent, vec![2000]),
     ] {
@@ -72,7 +122,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
 
         let mut headers = vec![
             "Query Interval".to_string(),
-            format!("M1(u={u_index}) Join", ),
+            format!("M1(u={u_index}) Join",),
             "M1 GHFK (calls)".to_string(),
             "TQF Join".to_string(),
             "TQF GHFK (calls)".to_string(),
@@ -89,7 +139,11 @@ pub fn run(ctx: &Ctx) -> Result<String> {
             let mut row = vec![tau.to_string()];
             let mut record_counts = Vec::new();
             let push_cell = |cell: &Cell, row: &mut Vec<String>| {
-                row.push(format!("{} (sim {:.1}s)", fmt_secs(cell.join_wall), cell.sim_secs));
+                row.push(format!(
+                    "{} (sim {:.1}s)",
+                    fmt_secs(cell.join_wall),
+                    cell.sim_secs
+                ));
                 row.push(format!(
                     "{} ({}) [{} blk]",
                     fmt_secs(cell.ghfk_wall),
@@ -98,40 +152,77 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                 ));
             };
 
-            let m1 = run_engine(ctx, &M1Engine::default(), &m1_ledger, tau)?;
+            let (m1, snap) = run_engine(ctx, &M1Engine::default(), &m1_ledger, tau)?;
+            if let Some(snap) = snap {
+                jsonl.push_str(&telemetry_line(snap, id, mode, "M1", tau, &m1));
+                jsonl.push('\n');
+            }
             push_cell(&m1, &mut row);
             record_counts.push(m1.records);
             csv.row(vec![
-                id.to_string(), mode.to_string(), "M1".into(),
-                tau.start.to_string(), tau.end.to_string(),
-                m1.join_wall.as_secs_f64().to_string(), m1.ghfk_wall.as_secs_f64().to_string(),
-                m1.ghfk_calls.to_string(), m1.blocks.to_string(),
-                format!("{:.3}", m1.sim_secs), m1.records.to_string(),
+                id.to_string(),
+                mode.to_string(),
+                "M1".into(),
+                tau.start.to_string(),
+                tau.end.to_string(),
+                m1.join_wall.as_secs_f64().to_string(),
+                m1.ghfk_wall.as_secs_f64().to_string(),
+                m1.ghfk_calls.to_string(),
+                m1.blocks.to_string(),
+                format!("{:.3}", m1.sim_secs),
+                m1.records.to_string(),
             ]);
 
             // TQF runs against the same base data (M1 leaves it untouched).
-            let tqf = run_engine(ctx, &TqfEngine, &m1_ledger, tau)?;
+            let (tqf, snap) = run_engine(ctx, &TqfEngine, &m1_ledger, tau)?;
+            if let Some(snap) = snap {
+                jsonl.push_str(&telemetry_line(snap, id, mode, "TQF", tau, &tqf));
+                jsonl.push('\n');
+            }
             push_cell(&tqf, &mut row);
             record_counts.push(tqf.records);
             csv.row(vec![
-                id.to_string(), mode.to_string(), "TQF".into(),
-                tau.start.to_string(), tau.end.to_string(),
-                tqf.join_wall.as_secs_f64().to_string(), tqf.ghfk_wall.as_secs_f64().to_string(),
-                tqf.ghfk_calls.to_string(), tqf.blocks.to_string(),
-                format!("{:.3}", tqf.sim_secs), tqf.records.to_string(),
+                id.to_string(),
+                mode.to_string(),
+                "TQF".into(),
+                tau.start.to_string(),
+                tau.end.to_string(),
+                tqf.join_wall.as_secs_f64().to_string(),
+                tqf.ghfk_wall.as_secs_f64().to_string(),
+                tqf.ghfk_calls.to_string(),
+                tqf.blocks.to_string(),
+                format!("{:.3}", tqf.sim_secs),
+                tqf.records.to_string(),
             ]);
 
             for (u_paper, ledger) in &m2_ledgers {
                 let u = ctx.scale_time(id, *u_paper);
-                let m2 = run_engine(ctx, &M2Engine { u }, ledger, tau)?;
+                let (m2, snap) = run_engine(ctx, &M2Engine { u }, ledger, tau)?;
+                if let Some(snap) = snap {
+                    jsonl.push_str(&telemetry_line(
+                        snap,
+                        id,
+                        mode,
+                        &format!("M2(u={u_paper})"),
+                        tau,
+                        &m2,
+                    ));
+                    jsonl.push('\n');
+                }
                 push_cell(&m2, &mut row);
                 record_counts.push(m2.records);
                 csv.row(vec![
-                    id.to_string(), mode.to_string(), format!("M2(u={u_paper})"),
-                    tau.start.to_string(), tau.end.to_string(),
-                    m2.join_wall.as_secs_f64().to_string(), m2.ghfk_wall.as_secs_f64().to_string(),
-                    m2.ghfk_calls.to_string(), m2.blocks.to_string(),
-                    format!("{:.3}", m2.sim_secs), m2.records.to_string(),
+                    id.to_string(),
+                    mode.to_string(),
+                    format!("M2(u={u_paper})"),
+                    tau.start.to_string(),
+                    tau.end.to_string(),
+                    m2.join_wall.as_secs_f64().to_string(),
+                    m2.ghfk_wall.as_secs_f64().to_string(),
+                    m2.ghfk_calls.to_string(),
+                    m2.blocks.to_string(),
+                    format!("{:.3}", m2.sim_secs),
+                    m2.records.to_string(),
                 ]);
             }
             // Cross-engine agreement check: all engines must compute the
@@ -147,5 +238,13 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         report.push('\n');
     }
     ctx.save_result("table1.csv", &csv.to_csv());
+    if ctx.telemetry {
+        ctx.save_result("BENCH_table1.jsonl", &jsonl);
+        report.push_str(&format!(
+            "Telemetry: {} JSON-lines record(s) written to {}\n",
+            jsonl.lines().count(),
+            ctx.results_dir().join("BENCH_table1.jsonl").display()
+        ));
+    }
     Ok(report)
 }

@@ -33,7 +33,14 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "calls/blocks ",
     ]);
     let mut csv = TableOut::new(&[
-        "u_paper", "u_scaled", "tau_start", "tau_end", "join_s", "ghfk_calls", "blocks", "sim_s",
+        "u_paper",
+        "u_scaled",
+        "tau_start",
+        "tau_end",
+        "join_s",
+        "ghfk_calls",
+        "blocks",
+        "sim_s",
     ]);
     for u_paper in PAPER_US {
         let u = ctx.scale_time(id, u_paper);

@@ -48,7 +48,12 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "index GHFK blocks",
     ]);
     let mut csv = TableOut::new(&[
-        "epoch_end", "index_s", "ingest_s", "total_s", "index_blocks", "index_txs",
+        "epoch_end",
+        "index_s",
+        "ingest_s",
+        "total_s",
+        "index_blocks",
+        "index_txs",
     ]);
 
     let mut cursor = 0usize;
@@ -103,7 +108,12 @@ pub fn run(ctx: &Ctx) -> Result<String> {
     let _ = std::fs::remove_dir_all(&dir_oneshot);
     let oneshot = fabric_ledger::Ledger::open(&dir_oneshot, LedgerConfig::default())?;
     let t0 = Instant::now();
-    ingest(&oneshot, &workload.events, IngestMode::MultiEvent, &IdentityEncoder)?;
+    ingest(
+        &oneshot,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )?;
     let oneshot_ingest = t0.elapsed();
     eprintln!("[table3] one-shot index build ...");
     let report = indexer.run_epoch(&oneshot, &keys, Interval::new(0, t_max))?;
@@ -113,8 +123,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
 
     ctx.save_result("table3.csv", &csv.to_csv());
     let periodic_pct = 100.0 * total_index.as_secs_f64() / total_ingest.as_secs_f64().max(1e-9);
-    let oneshot_pct =
-        100.0 * oneshot_index.as_secs_f64() / oneshot_ingest.as_secs_f64().max(1e-9);
+    let oneshot_pct = 100.0 * oneshot_index.as_secs_f64() / oneshot_ingest.as_secs_f64().max(1e-9);
     Ok(format!(
         "# Table III — periodic M1 index construction (DS1, ME, u≈2K, scale 1/{})\n\n{}\n\
          Periodic: total index {} vs total ingest {} → index = {:.0}% of ingestion (paper: ~34%)\n\

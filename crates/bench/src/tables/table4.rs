@@ -37,8 +37,14 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "GHFK-Base blocks",
     ]);
     let mut csv = TableOut::new(&[
-        "u_paper", "u_scaled", "get_state_base_s", "probes", "ghfk_base_s", "ghfk_blocks",
-        "get_state_calls", "ghfk_calls",
+        "u_paper",
+        "u_scaled",
+        "get_state_base_s",
+        "probes",
+        "ghfk_base_s",
+        "ghfk_blocks",
+        "get_state_calls",
+        "ghfk_calls",
     ]);
 
     for u_paper in PAPER_US {

@@ -75,7 +75,12 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "Rejected",
     ]);
     let mut csv = TableOut::new(&[
-        "layout", "ingest_s", "txs", "get_state_calls", "calls_per_tx", "rejected",
+        "layout",
+        "ingest_s",
+        "txs",
+        "get_state_calls",
+        "calls_per_tx",
+        "rejected",
     ]);
 
     for (label, layout) in layouts {

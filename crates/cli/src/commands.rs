@@ -10,7 +10,7 @@ use temporal_core::m1::{read_meta, M1Engine, M1Indexer};
 use temporal_core::m2::{M2Encoder, M2Engine};
 use temporal_core::partition::FixedLength;
 use temporal_core::tqf::TqfEngine;
-use temporal_core::TemporalEngine;
+use temporal_core::{explain_analyze, TemporalEngine};
 
 use crate::args::Args;
 
@@ -26,6 +26,9 @@ const USAGE: &str = "usage: tfq <command> ...
   events  <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
   join    <dir> <t1> <t2>       [--engine tqf|m1|m2] [--u U]
   explain <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
+  analyze <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
+  stats   <dir> <t1> <t2>       [--engine tqf|m1|m2] [--u U] [--format table|json|csv]
+  trace   <dir> <t1> <t2>       [--key K] [--engine tqf|m1|m2] [--u U]
   index   <dir> --u U [--from T1] [--to T2]
   backup  <dir> <dest-dir>
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
@@ -52,6 +55,9 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("events") => events(&args),
         Some("join") => join(&args),
         Some("explain") => explain(&args),
+        Some("analyze") => analyze(&args),
+        Some("stats") => stats(&args),
+        Some("trace") => trace(&args),
         Some("index") => index(&args),
         Some("backup") => backup(&args),
         Some("export-trace") => export_trace(&args),
@@ -98,7 +104,10 @@ fn info(args: &Args) -> CliResult {
     let stats = ledger.stats();
     println!("height:      {}", ledger.height());
     println!("tip hash:    {}", ledger.last_hash());
-    println!("state keys:  {}", ledger.state_db().key_count().map_err(led)?);
+    println!(
+        "state keys:  {}",
+        ledger.state_db().key_count().map_err(led)?
+    );
     println!("pending txs: {}", ledger.pending_txs());
     if let Some(meta) = read_meta(&ledger).map_err(led)? {
         println!(
@@ -110,10 +119,10 @@ fn info(args: &Args) -> CliResult {
     } else {
         println!("M1 indexes:  none");
     }
-    println!(
-        "since open:  {} blocks written, {} deserialized",
-        stats.blocks_written, stats.blocks_deserialized
-    );
+    println!("I/O since open:");
+    for line in stats.to_string().lines() {
+        println!("  {line}");
+    }
     Ok(())
 }
 
@@ -326,7 +335,10 @@ fn join(args: &Args) -> CliResult {
     let engine = pick_engine(args)?;
     let outcome = ferry_query(engine.as_ref(), &ledger, tau).map_err(led)?;
     for r in outcome.records.iter().take(20) {
-        println!("shipment {} on truck {} during {}", r.shipment, r.truck, r.span);
+        println!(
+            "shipment {} on truck {} during {}",
+            r.shipment, r.truck, r.span
+        );
     }
     if outcome.records.len() > 20 {
         println!("... and {} more", outcome.records.len() - 20);
@@ -369,6 +381,119 @@ fn explain(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn analyze(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
+        .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
+    let tau = parse_tau(args, 3)?;
+    let analyzed = match args.opt("engine").unwrap_or("tqf") {
+        "tqf" => explain_analyze(&TqfEngine, &ledger, key, tau),
+        "m1" => explain_analyze(&M1Engine::default(), &ledger, key, tau),
+        "m2" => {
+            let u = args
+                .opt_u64("u")?
+                .ok_or_else(|| "--engine m2 requires --u".to_string())?;
+            explain_analyze(&M2Engine { u }, &ledger, key, tau)
+        }
+        other => return Err(format!("unknown engine '{other}' (tqf|m1|m2)")),
+    }
+    .map_err(led)?;
+    print!("{}", analyzed.render());
+    if !analyzed.within_bounds() {
+        return Err("measured cost exceeded the predicted bound".to_string());
+    }
+    Ok(())
+}
+
+fn stats(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let tau = parse_tau(args, 2)?;
+    let engine = pick_engine(args)?;
+    let tel = ledger.telemetry();
+    tel.enable();
+    tel.reset();
+    let outcome = ferry_query(engine.as_ref(), &ledger, tau).map_err(led)?;
+    let report = fabric_telemetry::export::Report::new(tel.snapshot())
+        .with("engine", engine.name())
+        .with("tau", tau.to_string())
+        .with("records", outcome.records.len().to_string());
+    match args.opt("format").unwrap_or("table") {
+        "table" => {
+            println!(
+                "{} record(s) via {} over {tau} in {:?}",
+                outcome.records.len(),
+                engine.name(),
+                outcome.stats.wall
+            );
+            print!(
+                "{}",
+                fabric_telemetry::export::render_table(&report.snapshot)
+            );
+        }
+        "json" => println!("{}", report.json_line()),
+        "csv" => print!("{}", report.csv()),
+        other => return Err(format!("unknown format '{other}' (table|json|csv)")),
+    }
+    Ok(())
+}
+
+fn trace(args: &Args) -> CliResult {
+    let ledger = open(args.pos(1, "dir")?)?;
+    let tau = parse_tau(args, 2)?;
+    let engine = pick_engine(args)?;
+    let key = match args.opt("key") {
+        Some(k) => Some(
+            EntityId::from_key(k.as_bytes())
+                .ok_or_else(|| "key must look like S00001 / C00001".to_string())?,
+        ),
+        None => None,
+    };
+    let (summary, tree) = trace_query(&ledger, engine.as_ref(), tau, key).map_err(led)?;
+    println!("{summary}");
+    print!("{}", fabric_telemetry::render_tree(&tree));
+    let depth = tree.iter().map(|n| n.depth()).max().unwrap_or(0);
+    println!("deepest nesting: {depth} level(s)");
+    Ok(())
+}
+
+/// Run one query with telemetry enabled and return a summary line plus the
+/// collected span forest. With a key, only that key's events are traced;
+/// without, the whole ferry join runs under the trace.
+fn trace_query(
+    ledger: &Ledger,
+    engine: &dyn TemporalEngine,
+    tau: Interval,
+    key: Option<EntityId>,
+) -> Result<(String, Vec<fabric_telemetry::SpanNode>), fabric_ledger::Error> {
+    let tel = ledger.telemetry();
+    let was_enabled = tel.is_enabled();
+    tel.enable();
+    let _ = tel.drain_spans();
+    let summary = match key {
+        Some(k) => {
+            let events = engine.events_for_key(ledger, k, tau)?;
+            format!(
+                "{} event(s) for {k} via {} over {tau}",
+                events.len(),
+                engine.name()
+            )
+        }
+        None => {
+            let outcome = ferry_query(engine, ledger, tau)?;
+            format!(
+                "{} record(s) via {} over {tau}",
+                outcome.records.len(),
+                engine.name()
+            )
+        }
+    };
+    let tree = tel.span_tree();
+    if !was_enabled {
+        tel.disable();
+    }
+    Ok((summary, tree))
+}
+
 fn index(args: &Args) -> CliResult {
     let ledger = open(args.pos(1, "dir")?)?;
     let u = args
@@ -376,7 +501,9 @@ fn index(args: &Args) -> CliResult {
         .ok_or_else(|| "index requires --u".to_string())?;
     let from = match args.opt_u64("from")? {
         Some(t) => t,
-        None => read_meta(&ledger).map_err(led)?.map_or(0, |m| m.indexed_to()),
+        None => read_meta(&ledger)
+            .map_err(led)?
+            .map_or(0, |m| m.indexed_to()),
     };
     let to = match args.opt_u64("to")? {
         Some(t) => t,
@@ -468,15 +595,62 @@ mod tests {
         run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
         run(&["explain", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
         run(&["join", dir.s(), "0", "5000", "--engine", "tqf"]).unwrap();
+        run(&["analyze", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["analyze", dir.s(), "S00000", "0", "5000", "--engine", "tqf"]).unwrap();
+        run(&["stats", dir.s(), "0", "5000", "--engine", "tqf"]).unwrap();
+        run(&["stats", dir.s(), "0", "5000", "--format", "json"]).unwrap();
+        run(&["stats", dir.s(), "0", "5000", "--format", "csv"]).unwrap();
+        run(&["trace", dir.s(), "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["trace", dir.s(), "0", "5000", "--key", "S00000"]).unwrap();
+    }
+
+    #[test]
+    fn trace_tree_nests_at_least_three_levels() {
+        let dir = TempDir::new("depth");
+        run(&["demo", dir.s(), "ds3", "--scale", "300"]).unwrap();
+        let ledger = open(dir.s()).unwrap();
+        let (_, tree) = trace_query(&ledger, &TqfEngine, Interval::new(0, 5000), None).unwrap();
+        let depth = tree.iter().map(|n| n.depth()).max().unwrap_or(0);
+        assert!(depth >= 3, "span tree depth {depth} < 3");
+        let rendered = fabric_telemetry::render_tree(&tree);
+        assert!(rendered.contains("query.ferry"), "{rendered}");
+        assert!(rendered.contains("ghfk"), "{rendered}");
+        assert!(rendered.contains("block.deserialize"), "{rendered}");
+    }
+
+    #[test]
+    fn stats_and_bad_format_are_reported() {
+        let dir = TempDir::new("statsfmt");
+        run(&["demo", dir.s(), "ds3", "--scale", "400"]).unwrap();
+        assert!(run(&["stats", dir.s(), "0", "5000", "--format", "xml"]).is_err());
+        assert!(run(&["trace", dir.s(), "0", "5000", "--key", "BADKEY"]).is_err());
     }
 
     #[test]
     fn trace_roundtrip_through_dispatch() {
         let dir = TempDir::new("trace");
         let csv = std::env::temp_dir().join(format!("tfq-trace-{}.csv", std::process::id()));
-        run(&["export-trace", csv.to_str().unwrap(), "ds3", "--scale", "300"]).unwrap();
+        run(&[
+            "export-trace",
+            csv.to_str().unwrap(),
+            "ds3",
+            "--scale",
+            "300",
+        ])
+        .unwrap();
         run(&["replay", dir.s(), csv.to_str().unwrap(), "--m2-u", "2000"]).unwrap();
-        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m2", "--u", "2000"]).unwrap();
+        run(&[
+            "events",
+            dir.s(),
+            "S00000",
+            "0",
+            "5000",
+            "--engine",
+            "m2",
+            "--u",
+            "2000",
+        ])
+        .unwrap();
         let _ = std::fs::remove_file(&csv);
     }
 

@@ -199,7 +199,9 @@ impl SupplyChainContract {
         let mut sim = TxSimulator::new(ledger);
         if let Some(latest) = self.latest_event(ledger, &mut sim, subject, time)? {
             if time <= latest.time {
-                return Err(ContractError::TimeNotMonotonic { latest: latest.time });
+                return Err(ContractError::TimeNotMonotonic {
+                    latest: latest.time,
+                });
             }
             if latest.kind == EventKind::Load {
                 return Err(ContractError::AlreadyLoaded {
@@ -232,7 +234,9 @@ impl SupplyChainContract {
             return Err(ContractError::NotLoaded);
         };
         if time <= latest.time {
-            return Err(ContractError::TimeNotMonotonic { latest: latest.time });
+            return Err(ContractError::TimeNotMonotonic {
+                latest: latest.time,
+            });
         }
         if latest.kind != EventKind::Load {
             return Err(ContractError::NotLoaded);
@@ -343,7 +347,10 @@ mod tests {
         let ledger = ledger(&dir);
         let c = SupplyChainContract::new(DataLayout::Base);
         let s = EntityId::shipment(1);
-        commit(&ledger, c.load(&ledger, s, EntityId::container(1), 10).unwrap());
+        commit(
+            &ledger,
+            c.load(&ledger, s, EntityId::container(1), 10).unwrap(),
+        );
         let err = c.load(&ledger, s, EntityId::container(2), 20).unwrap_err();
         assert!(matches!(err, ContractError::AlreadyLoaded { .. }), "{err}");
     }
@@ -365,7 +372,10 @@ mod tests {
         let ledger = ledger(&dir);
         let c = SupplyChainContract::new(DataLayout::Base);
         let s = EntityId::shipment(1);
-        commit(&ledger, c.load(&ledger, s, EntityId::container(1), 10).unwrap());
+        commit(
+            &ledger,
+            c.load(&ledger, s, EntityId::container(1), 10).unwrap(),
+        );
         let err = c
             .unload(&ledger, s, EntityId::container(9), 20)
             .unwrap_err();
@@ -462,8 +472,14 @@ mod tests {
         let c = SupplyChainContract::new(DataLayout::Base);
         let s = EntityId::shipment(1);
         // Seed with one committed event so both txs carry a read version.
-        commit(&ledger, c.load(&ledger, s, EntityId::container(9), 5).unwrap());
-        commit(&ledger, c.unload(&ledger, s, EntityId::container(9), 6).unwrap());
+        commit(
+            &ledger,
+            c.load(&ledger, s, EntityId::container(9), 5).unwrap(),
+        );
+        commit(
+            &ledger,
+            c.unload(&ledger, s, EntityId::container(9), 6).unwrap(),
+        );
         let tx_a = c.load(&ledger, s, EntityId::container(1), 10).unwrap();
         let tx_b = c.load(&ledger, s, EntityId::container(2), 11).unwrap();
         ledger.submit(tx_a).unwrap();

@@ -68,7 +68,11 @@ impl Model {
             subject,
             target,
             time,
-            kind: if load { EventKind::Load } else { EventKind::Unload },
+            kind: if load {
+                EventKind::Load
+            } else {
+                EventKind::Unload
+            },
         });
         true
     }

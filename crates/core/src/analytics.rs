@@ -17,7 +17,10 @@ use crate::join::{FerryRecord, Span, Stay};
 pub fn transit_time_per_shipment(records: &[FerryRecord]) -> BTreeMap<EntityId, u64> {
     let mut spans_by_shipment: HashMap<EntityId, Vec<Span>> = HashMap::new();
     for r in records {
-        spans_by_shipment.entry(r.shipment).or_default().push(r.span);
+        spans_by_shipment
+            .entry(r.shipment)
+            .or_default()
+            .push(r.span);
     }
     spans_by_shipment
         .into_iter()
@@ -207,9 +210,9 @@ mod tests {
     #[test]
     fn top_trucks_orders_and_truncates() {
         let records = vec![
-            rec(1, 0, 0, 9),   // truck 0: 10
-            rec(2, 1, 0, 99),  // truck 1: 100
-            rec(3, 2, 0, 49),  // truck 2: 50
+            rec(1, 0, 0, 9),  // truck 0: 10
+            rec(2, 1, 0, 99), // truck 1: 100
+            rec(3, 2, 0, 49), // truck 2: 50
         ];
         let top = top_trucks(&records, 2);
         assert_eq!(top.len(), 2);
@@ -222,6 +225,12 @@ mod tests {
         assert!(transit_time_per_shipment(&[]).is_empty());
         assert!(co_located_shipments(&[]).is_empty());
         assert!(top_trucks(&[], 5).is_empty());
-        assert_eq!(dwell(&[], 100), Dwell { carried: 0, idle: 100 });
+        assert_eq!(
+            dwell(&[], 100),
+            Dwell {
+                carried: 0,
+                idle: 100
+            }
+        );
     }
 }

@@ -1,0 +1,338 @@
+//! `EXPLAIN ANALYZE` for temporal queries: run the query with telemetry
+//! enabled and merge the *measured* span tree into the *predicted* plan.
+//!
+//! [`crate::explain`] computes, from index metadata alone, an upper bound
+//! on the blocks each `GetHistoryForKey` call may deserialize. This module
+//! executes the query under the ledger's [`fabric_telemetry::Telemetry`]
+//! handle, collects the recorded `ghfk` spans (each carrying its
+//! per-block `block.deserialize` children), and matches them back to the
+//! plan's [`PlanStep::Ghfk`] nodes by key, in execution order. The result
+//! reports predicted vs measured per plan node — the measured count can
+//! never exceed the prediction, which [`AnalyzedPlan::within_bounds`]
+//! checks and the integration tests assert for all three engines.
+
+use std::time::Duration;
+
+use fabric_ledger::{Ledger, Result};
+use fabric_telemetry::SpanNode;
+use fabric_workload::EntityId;
+
+use crate::engine::TemporalEngine;
+use crate::explain::{ExplainQuery, PlanStep, QueryPlan};
+use crate::interval::Interval;
+use crate::stats::{measure, QueryStats};
+
+/// Measured cost of one plan step (all `None` for steps that issue no
+/// GHFK call, or when no matching span was recorded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepMeasurement {
+    /// Blocks actually deserialized under this step's GHFK span.
+    pub blocks: Option<u64>,
+    /// Wall time of the span.
+    pub wall: Option<Duration>,
+    /// History entries the iterator yielded.
+    pub entries: Option<u64>,
+}
+
+/// A plan annotated with per-step measurements from a real run.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPlan {
+    /// The predicted plan (computed before execution).
+    pub plan: QueryPlan,
+    /// One measurement per plan step, aligned with `plan.steps`.
+    pub measured: Vec<StepMeasurement>,
+    /// Whole-query measurement (wall + I/O counter deltas).
+    pub stats: QueryStats,
+    /// Events the query returned.
+    pub events: usize,
+}
+
+impl AnalyzedPlan {
+    /// Total blocks measured across all GHFK steps.
+    pub fn measured_blocks(&self) -> u64 {
+        self.measured.iter().filter_map(|m| m.blocks).sum()
+    }
+
+    /// Whether every GHFK step stayed within its predicted block bound.
+    pub fn within_bounds(&self) -> bool {
+        self.plan
+            .steps
+            .iter()
+            .zip(&self.measured)
+            .all(|(step, m)| match step {
+                PlanStep::Ghfk { max_blocks, .. } => m.blocks.unwrap_or(0) <= *max_blocks,
+                _ => true,
+            })
+    }
+
+    /// Render predicted-vs-measured as indented text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} plan for {} over {} — analyzed:\n",
+            self.plan.engine, self.plan.key, self.plan.tau
+        );
+        for (step, m) in self.plan.steps.iter().zip(&self.measured) {
+            match step {
+                PlanStep::StateRangeScan { range } => {
+                    out.push_str(&format!("  range-scan state-db: {range}\n"));
+                }
+                PlanStep::Ghfk {
+                    key,
+                    max_blocks,
+                    first_state_only,
+                } => {
+                    out.push_str(&format!(
+                        "  GHFK({key}){} — predicted ≤{max_blocks} block(s)",
+                        if *first_state_only {
+                            " [first state]"
+                        } else {
+                            ""
+                        }
+                    ));
+                    match m.blocks {
+                        Some(blocks) => {
+                            out.push_str(&format!(", measured {blocks}"));
+                            if let Some(entries) = m.entries {
+                                out.push_str(&format!(", {entries} entries"));
+                            }
+                            if let Some(wall) = m.wall {
+                                out.push_str(&format!(
+                                    ", {}",
+                                    fabric_telemetry::export::fmt_ns(wall.as_nanos() as u64)
+                                ));
+                            }
+                            out.push('\n');
+                        }
+                        None => out.push_str(", no span recorded\n"),
+                    }
+                }
+                PlanStep::Filter => out.push_str("  filter to window\n"),
+            }
+        }
+        out.push_str(&format!(
+            "  => {} events, {} blocks deserialized (bound {}), {} GHFK calls, wall {:?}\n",
+            self.events,
+            self.stats.blocks_deserialized(),
+            self.plan.max_blocks(),
+            self.stats.ghfk_calls(),
+            self.stats.wall,
+        ));
+        out
+    }
+}
+
+fn collect_ghfk<'t>(nodes: &'t [SpanNode], out: &mut Vec<&'t SpanNode>) {
+    for node in nodes {
+        if node.record.name == "ghfk" {
+            out.push(node);
+        }
+        collect_ghfk(&node.children, out);
+    }
+}
+
+/// Plan `key`/`tau` with `engine`, execute it with telemetry enabled, and
+/// merge the measured span tree into the plan.
+///
+/// The ledger's telemetry handle is enabled for the duration of the run
+/// and restored afterwards; any spans already queued (including those the
+/// planning phase itself records) are drained first, so the measurements
+/// cover exactly this query.
+pub fn explain_analyze(
+    engine: &(impl ExplainQuery + TemporalEngine),
+    ledger: &Ledger,
+    key: EntityId,
+    tau: Interval,
+) -> Result<AnalyzedPlan> {
+    let plan = engine.explain(ledger, key, tau)?;
+    let tel = ledger.telemetry();
+    let was_enabled = tel.is_enabled();
+    tel.enable();
+    let _ = tel.drain_spans();
+    let run = measure(ledger, || engine.events_for_key(ledger, key, tau));
+    let tree = tel.span_tree();
+    if !was_enabled {
+        tel.disable();
+    }
+    let (events, stats) = run?;
+
+    let mut ghfk = Vec::new();
+    collect_ghfk(&tree, &mut ghfk);
+    let mut used = vec![false; ghfk.len()];
+    let measured = plan
+        .steps
+        .iter()
+        .map(|step| {
+            let PlanStep::Ghfk { key, .. } = step else {
+                return StepMeasurement::default();
+            };
+            let hit = ghfk
+                .iter()
+                .enumerate()
+                .find(|(i, n)| !used[*i] && n.record.label.as_deref() == Some(key.as_str()));
+            match hit {
+                Some((i, node)) => {
+                    used[i] = true;
+                    StepMeasurement {
+                        blocks: Some(node.count_named("block.deserialize") as u64),
+                        wall: Some(Duration::from_nanos(node.record.dur_ns)),
+                        entries: node.record.metric("entries"),
+                    }
+                }
+                None => StepMeasurement::default(),
+            }
+        })
+        .collect();
+    Ok(AnalyzedPlan {
+        plan,
+        measured,
+        stats,
+        events: events.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m1::M1Indexer;
+    use crate::m2::{M2Encoder, M2Engine};
+    use crate::partition::FixedLength;
+    use crate::tqf::TqfEngine;
+    use fabric_ledger::LedgerConfig;
+    use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
+    use fabric_workload::{Event, EventKind};
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "analyze-test-{}-{tag}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn events() -> Vec<Event> {
+        (1..=40u64)
+            .map(|i| Event {
+                subject: EntityId::shipment(0),
+                target: EntityId::container(0),
+                time: i * 10,
+                kind: EventKind::Load,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn measured_stays_within_predicted_for_all_engines() {
+        let dir = TempDir::new("bounds");
+        let base = fabric_ledger::Ledger::open(dir.0.join("base"), LedgerConfig::small_for_tests())
+            .unwrap();
+        ingest(&base, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let strategy = FixedLength { u: 100 };
+        M1Indexer::fixed(&strategy)
+            .run_epoch(&base, &[EntityId::shipment(0)], Interval::new(0, 400))
+            .unwrap();
+        let m2led =
+            fabric_ledger::Ledger::open(dir.0.join("m2"), LedgerConfig::small_for_tests()).unwrap();
+        ingest(
+            &m2led,
+            &events(),
+            IngestMode::SingleEvent,
+            &M2Encoder { u: 100 },
+        )
+        .unwrap();
+
+        let tau = Interval::new(100, 300);
+        let key = EntityId::shipment(0);
+
+        let tqf = explain_analyze(&TqfEngine, &base, key, tau).unwrap();
+        assert!(tqf.within_bounds(), "{}", tqf.render());
+        assert!(tqf.measured_blocks() <= tqf.plan.max_blocks());
+        assert_eq!(tqf.events, 20);
+
+        let m1 = explain_analyze(&crate::m1::M1Engine::default(), &base, key, tau).unwrap();
+        assert!(m1.within_bounds(), "{}", m1.render());
+        // M1 reads exactly one block per overlapping interval.
+        assert_eq!(m1.measured_blocks(), 2);
+
+        let m2 = explain_analyze(&M2Engine { u: 100 }, &m2led, key, tau).unwrap();
+        assert!(m2.within_bounds(), "{}", m2.render());
+        assert_eq!(m2.events, 20);
+    }
+
+    #[test]
+    fn measured_blocks_match_iostats_delta() {
+        let dir = TempDir::new("iostats");
+        let base = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        ingest(&base, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let analyzed = explain_analyze(
+            &TqfEngine,
+            &base,
+            EntityId::shipment(0),
+            Interval::new(0, 400),
+        )
+        .unwrap();
+        // Every deserialization happens under the single GHFK span, so the
+        // per-step measurement equals the whole-query counter delta.
+        assert_eq!(
+            analyzed.measured_blocks(),
+            analyzed.stats.blocks_deserialized()
+        );
+        assert!(analyzed.stats.blocks_deserialized() > 0);
+    }
+
+    #[test]
+    fn render_reports_predicted_and_measured() {
+        let dir = TempDir::new("render");
+        let base = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        ingest(&base, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let analyzed = explain_analyze(
+            &TqfEngine,
+            &base,
+            EntityId::shipment(0),
+            Interval::new(0, 100),
+        )
+        .unwrap();
+        let text = analyzed.render();
+        assert!(text.contains("predicted ≤"), "{text}");
+        assert!(text.contains("measured"), "{text}");
+        assert!(text.contains("analyzed"), "{text}");
+    }
+
+    #[test]
+    fn telemetry_state_is_restored() {
+        let dir = TempDir::new("restore");
+        let base = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        ingest(&base, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        assert!(!base.telemetry().is_enabled());
+        explain_analyze(
+            &TqfEngine,
+            &base,
+            EntityId::shipment(0),
+            Interval::new(0, 100),
+        )
+        .unwrap();
+        assert!(
+            !base.telemetry().is_enabled(),
+            "explain_analyze must restore the disabled state"
+        );
+        base.telemetry().enable();
+        explain_analyze(
+            &TqfEngine,
+            &base,
+            EntityId::shipment(0),
+            Interval::new(0, 100),
+        )
+        .unwrap();
+        assert!(base.telemetry().is_enabled());
+    }
+}

@@ -207,7 +207,13 @@ mod tests {
         events.push(event(1, 10));
         events.push(event(1, 20));
         events.sort_by_key(|e| e.time);
-        ingest(&ledger_base, &events, IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &ledger_base,
+            &events,
+            IngestMode::SingleEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
 
         let api = M2BaseApi::new(30, 100);
         let got = api.ghfk_base(&ledger_m2, EntityId::shipment(0)).unwrap();

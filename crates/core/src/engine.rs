@@ -21,12 +21,7 @@ pub trait TemporalEngine {
     fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>>;
 
     /// Every event of `key` with time in `tau`, ascending by time.
-    fn events_for_key(
-        &self,
-        ledger: &Ledger,
-        key: EntityId,
-        tau: Interval,
-    ) -> Result<Vec<Event>>;
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>>;
 }
 
 /// Decode a raw ledger value into an [`Event`] for `subject`, returning an

@@ -85,7 +85,11 @@ impl QueryPlan {
                 } => {
                     out.push_str(&format!(
                         "  GHFK({key}) — ≤{max_blocks} block(s){}\n",
-                        if *first_state_only { ", first state only" } else { "" }
+                        if *first_state_only {
+                            ", first state only"
+                        } else {
+                            ""
+                        }
                     ));
                 }
                 PlanStep::Filter => out.push_str("  filter to window\n"),
@@ -173,8 +177,7 @@ impl ExplainQuery for M2Engine {
             };
             if theta.overlaps(&tau) {
                 // Bound: the history entries of this interval key.
-                let max_blocks =
-                    ledger.get_history_for_key(&composite)?.remaining_hint() as u64;
+                let max_blocks = ledger.get_history_for_key(&composite)?.remaining_hint() as u64;
                 steps.push(PlanStep::Ghfk {
                     key: String::from_utf8_lossy(&composite).into_owned(),
                     max_blocks,
@@ -244,7 +247,13 @@ mod tests {
             .unwrap();
         let m2led =
             fabric_ledger::Ledger::open(dir.0.join("m2"), LedgerConfig::small_for_tests()).unwrap();
-        ingest(&m2led, &events(), IngestMode::SingleEvent, &M2Encoder { u: 100 }).unwrap();
+        ingest(
+            &m2led,
+            &events(),
+            IngestMode::SingleEvent,
+            &M2Encoder { u: 100 },
+        )
+        .unwrap();
 
         let tau = Interval::new(100, 300);
         let key = EntityId::shipment(0);
@@ -292,8 +301,7 @@ mod tests {
     #[test]
     fn m1_plan_is_one_block_per_interval() {
         let dir = TempDir::new("m1plan");
-        let base =
-            fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        let base = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
         ingest(&base, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
         let strategy = FixedLength { u: 100 };
         M1Indexer::fixed(&strategy)
@@ -310,8 +318,7 @@ mod tests {
     #[test]
     fn unindexed_m1_plan_is_empty() {
         let dir = TempDir::new("noidx");
-        let base =
-            fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        let base = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
         let plan = M1Engine::default()
             .explain(&base, EntityId::shipment(0), Interval::new(0, 100))
             .unwrap();
@@ -322,9 +329,14 @@ mod tests {
     #[test]
     fn render_is_human_readable() {
         let dir = TempDir::new("render");
-        let m2led =
-            fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
-        ingest(&m2led, &events(), IngestMode::SingleEvent, &M2Encoder { u: 200 }).unwrap();
+        let m2led = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
+        ingest(
+            &m2led,
+            &events(),
+            IngestMode::SingleEvent,
+            &M2Encoder { u: 200 },
+        )
+        .unwrap();
         let plan = M2Engine { u: 200 }
             .explain(&m2led, EntityId::shipment(0), Interval::new(0, 250))
             .unwrap();

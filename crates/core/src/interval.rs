@@ -141,7 +141,10 @@ impl Interval {
             return None;
         }
         let start: u64 = std::str::from_utf8(&suffix[..WIDTH]).ok()?.parse().ok()?;
-        let end: u64 = std::str::from_utf8(&suffix[WIDTH + 1..]).ok()?.parse().ok()?;
+        let end: u64 = std::str::from_utf8(&suffix[WIDTH + 1..])
+            .ok()?
+            .parse()
+            .ok()?;
         if end <= start {
             return None;
         }
@@ -185,7 +188,10 @@ mod tests {
     #[test]
     fn intersect_matches_overlap() {
         let a = Interval::new(10, 20);
-        assert_eq!(a.intersect(&Interval::new(15, 25)), Some(Interval::new(15, 20)));
+        assert_eq!(
+            a.intersect(&Interval::new(15, 25)),
+            Some(Interval::new(15, 20))
+        );
         assert_eq!(a.intersect(&Interval::new(20, 30)), None);
         assert_eq!(a.intersect(&a), Some(a));
     }
@@ -194,9 +200,18 @@ mod tests {
     fn grid_containing_handles_boundaries() {
         // (0,2K] contains 1..=2000; 2000 is the right edge.
         assert_eq!(Interval::grid_containing(1, 2000), Interval::new(0, 2000));
-        assert_eq!(Interval::grid_containing(2000, 2000), Interval::new(0, 2000));
-        assert_eq!(Interval::grid_containing(2001, 2000), Interval::new(2000, 4000));
-        assert_eq!(Interval::grid_containing(150_000, 2000), Interval::new(148_000, 150_000));
+        assert_eq!(
+            Interval::grid_containing(2000, 2000),
+            Interval::new(0, 2000)
+        );
+        assert_eq!(
+            Interval::grid_containing(2001, 2000),
+            Interval::new(2000, 4000)
+        );
+        assert_eq!(
+            Interval::grid_containing(150_000, 2000),
+            Interval::new(148_000, 150_000)
+        );
     }
 
     #[test]
@@ -215,7 +230,10 @@ mod tests {
         assert_eq!(grid[0], Interval::new(0, 2000));
         assert_eq!(grid[4], Interval::new(8000, 10_000));
         // Query (10K,20K] also → 5.
-        assert_eq!(Interval::new(10_000, 20_000).grid_overlapping(2000).len(), 5);
+        assert_eq!(
+            Interval::new(10_000, 20_000).grid_overlapping(2000).len(),
+            5
+        );
         // (0,10K] with u=50K → 1.
         assert_eq!(tau.grid_overlapping(50_000).len(), 1);
         // Unaligned query (1500, 4500] with u=2K → (0,2K],(2K,4K],(4K,6K].

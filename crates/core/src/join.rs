@@ -168,29 +168,46 @@ pub fn ferry_query(
     ledger: &Ledger,
     tau: Interval,
 ) -> Result<JoinOutcome> {
+    let tel = ledger.telemetry();
+    let mut query_span = tel.span("query.ferry").with_label(engine.name());
     let mut events_scanned = 0usize;
     let mut retrieval_wall = std::time::Duration::ZERO;
     let (records, stats) = measure(ledger, || -> Result<Vec<FerryRecord>> {
-        let shipments = engine.list_keys(ledger, EntityKind::Shipment)?;
-        let containers = engine.list_keys(ledger, EntityKind::Container)?;
+        let (shipments, containers) = {
+            let _s = tel.span("ferry.list_keys");
+            (
+                engine.list_keys(ledger, EntityKind::Shipment)?,
+                engine.list_keys(ledger, EntityKind::Container)?,
+            )
+        };
         let mut shipment_stays = HashMap::with_capacity(shipments.len());
-        for s in shipments {
-            let t0 = std::time::Instant::now();
-            let events = engine.events_for_key(ledger, s, tau)?;
-            retrieval_wall += t0.elapsed();
-            events_scanned += events.len();
-            shipment_stays.insert(s, build_stays(&events, tau));
+        {
+            let _s = tel.span("ferry.shipments");
+            for s in shipments {
+                let t0 = std::time::Instant::now();
+                let events = engine.events_for_key(ledger, s, tau)?;
+                retrieval_wall += t0.elapsed();
+                events_scanned += events.len();
+                shipment_stays.insert(s, build_stays(&events, tau));
+            }
         }
         let mut container_stays = HashMap::with_capacity(containers.len());
-        for c in containers {
-            let t0 = std::time::Instant::now();
-            let events = engine.events_for_key(ledger, c, tau)?;
-            retrieval_wall += t0.elapsed();
-            events_scanned += events.len();
-            container_stays.insert(c, build_stays(&events, tau));
+        {
+            let _s = tel.span("ferry.containers");
+            for c in containers {
+                let t0 = std::time::Instant::now();
+                let events = engine.events_for_key(ledger, c, tau)?;
+                retrieval_wall += t0.elapsed();
+                events_scanned += events.len();
+                container_stays.insert(c, build_stays(&events, tau));
+            }
         }
+        let _s = tel.span("ferry.join");
         Ok(temporal_join(&shipment_stays, &container_stays))
     })?;
+    query_span.record("records", records.len() as u64);
+    query_span.record("events_scanned", events_scanned as u64);
+    query_span.record("blocks", stats.blocks_deserialized());
     Ok(JoinOutcome {
         records,
         events_scanned,
@@ -241,8 +258,14 @@ mod tests {
         assert_eq!(
             stays,
             vec![
-                Stay { target: c, span: Span { from: 10, to: 30 } },
-                Stay { target: c, span: Span { from: 50, to: 70 } },
+                Stay {
+                    target: c,
+                    span: Span { from: 10, to: 30 }
+                },
+                Stay {
+                    target: c,
+                    span: Span { from: 50, to: 70 }
+                },
             ]
         );
     }
@@ -254,7 +277,13 @@ mod tests {
         let tau = Interval::new(40, 100);
         let events = vec![ev(s, c, 60, EventKind::Unload)];
         let stays = build_stays(&events, tau);
-        assert_eq!(stays, vec![Stay { target: c, span: Span { from: 41, to: 60 } }]);
+        assert_eq!(
+            stays,
+            vec![Stay {
+                target: c,
+                span: Span { from: 41, to: 60 }
+            }]
+        );
     }
 
     #[test]
@@ -264,7 +293,13 @@ mod tests {
         let tau = Interval::new(0, 100);
         let events = vec![ev(s, c, 80, EventKind::Load)];
         let stays = build_stays(&events, tau);
-        assert_eq!(stays, vec![Stay { target: c, span: Span { from: 80, to: 100 } }]);
+        assert_eq!(
+            stays,
+            vec![Stay {
+                target: c,
+                span: Span { from: 80, to: 100 }
+            }]
+        );
     }
 
     #[test]
@@ -281,8 +316,14 @@ mod tests {
         ];
         let stays = build_stays(&events, tau);
         assert_eq!(stays.len(), 2);
-        assert!(stays.contains(&Stay { target: c1, span: Span { from: 10, to: 30 } }));
-        assert!(stays.contains(&Stay { target: c2, span: Span { from: 20, to: 40 } }));
+        assert!(stays.contains(&Stay {
+            target: c1,
+            span: Span { from: 10, to: 30 }
+        }));
+        assert!(stays.contains(&Stay {
+            target: c2,
+            span: Span { from: 20, to: 40 }
+        }));
     }
 
     #[test]
@@ -294,22 +335,39 @@ mod tests {
         let mut ship = HashMap::new();
         ship.insert(
             s,
-            vec![Stay { target: c, span: Span { from: 10, to: 50 } }],
+            vec![Stay {
+                target: c,
+                span: Span { from: 10, to: 50 },
+            }],
         );
         let mut cont = HashMap::new();
         cont.insert(
             c,
             vec![
-                Stay { target: t1, span: Span { from: 0, to: 20 } },
-                Stay { target: t2, span: Span { from: 30, to: 60 } },
+                Stay {
+                    target: t1,
+                    span: Span { from: 0, to: 20 },
+                },
+                Stay {
+                    target: t2,
+                    span: Span { from: 30, to: 60 },
+                },
             ],
         );
         let records = temporal_join(&ship, &cont);
         assert_eq!(
             records,
             vec![
-                FerryRecord { shipment: s, truck: t1, span: Span { from: 10, to: 20 } },
-                FerryRecord { shipment: s, truck: t2, span: Span { from: 30, to: 50 } },
+                FerryRecord {
+                    shipment: s,
+                    truck: t1,
+                    span: Span { from: 10, to: 20 }
+                },
+                FerryRecord {
+                    shipment: s,
+                    truck: t2,
+                    span: Span { from: 30, to: 50 }
+                },
             ]
         );
     }
@@ -320,9 +378,21 @@ mod tests {
         let c = EntityId::container(0);
         let t = EntityId::truck(0);
         let mut ship = HashMap::new();
-        ship.insert(s, vec![Stay { target: c, span: Span { from: 10, to: 20 } }]);
+        ship.insert(
+            s,
+            vec![Stay {
+                target: c,
+                span: Span { from: 10, to: 20 },
+            }],
+        );
         let mut cont = HashMap::new();
-        cont.insert(c, vec![Stay { target: t, span: Span { from: 30, to: 40 } }]);
+        cont.insert(
+            c,
+            vec![Stay {
+                target: t,
+                span: Span { from: 30, to: 40 },
+            }],
+        );
         assert!(temporal_join(&ship, &cont).is_empty());
     }
 
@@ -331,7 +401,13 @@ mod tests {
         let s = EntityId::shipment(0);
         let c = EntityId::container(7); // no stays recorded
         let mut ship = HashMap::new();
-        ship.insert(s, vec![Stay { target: c, span: Span { from: 0, to: 10 } }]);
+        ship.insert(
+            s,
+            vec![Stay {
+                target: c,
+                span: Span { from: 0, to: 10 },
+            }],
+        );
         assert!(temporal_join(&ship, &HashMap::new()).is_empty());
     }
 }

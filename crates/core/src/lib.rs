@@ -52,10 +52,11 @@
 #![deny(unsafe_code)]
 
 pub mod analytics;
+pub mod analyze;
 pub mod base_api;
 pub mod engine;
-pub mod explain;
 pub mod evset;
+pub mod explain;
 pub mod interval;
 pub mod join;
 pub mod m1;
@@ -65,10 +66,11 @@ pub mod partition;
 pub mod stats;
 pub mod tqf;
 
+pub use analyze::{explain_analyze, AnalyzedPlan, StepMeasurement};
 pub use base_api::M2BaseApi;
 pub use engine::TemporalEngine;
-pub use explain::{ExplainQuery, PlanStep, QueryPlan};
 pub use evset::{EvSet, TemporalEvent};
+pub use explain::{ExplainQuery, PlanStep, QueryPlan};
 pub use interval::Interval;
 pub use join::{ferry_query, FerryRecord, JoinOutcome, Span, Stay};
 pub use m1::{M1Engine, M1Indexer, M1Maintenance};

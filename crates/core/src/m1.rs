@@ -198,6 +198,10 @@ impl<'s> M1Indexer<'s> {
                 )));
             }
         }
+        let mut build_span = ledger
+            .telemetry()
+            .span("m1.build")
+            .with_label(epoch.to_string());
         let mut indexes = 0usize;
         let mut txs = 0u64;
         let ((), stats) = measure(ledger, || -> Result<()> {
@@ -243,6 +247,8 @@ impl<'s> M1Indexer<'s> {
             ledger.cut_block()?;
             Ok(())
         })?;
+        build_span.record("indexes", indexes as u64);
+        build_span.record("txs", txs);
         Ok(M1BuildReport {
             epoch,
             keys: keys.len(),
@@ -278,12 +284,7 @@ impl<'s> M1Indexer<'s> {
         Ok(out)
     }
 
-    fn append_catalog(
-        &self,
-        ledger: &Ledger,
-        key: EntityId,
-        created: &[Interval],
-    ) -> Result<u64> {
+    fn append_catalog(&self, ledger: &Ledger, key: EntityId, created: &[Interval]) -> Result<u64> {
         let ckey = catalog_key(key);
         let mut intervals = match ledger.get_state(&ckey)? {
             Some(vv) => decode_catalog(&vv.value)?,
@@ -334,11 +335,7 @@ impl M1Maintenance {
             if next_end > now {
                 break;
             }
-            reports.push(indexer.run_epoch(
-                ledger,
-                keys,
-                Interval::new(indexed_to, next_end),
-            )?);
+            reports.push(indexer.run_epoch(ledger, keys, Interval::new(indexed_to, next_end))?);
         }
         Ok(reports)
     }
@@ -371,6 +368,10 @@ impl M1Engine {
         tau: Interval,
         out: &mut Vec<Event>,
     ) -> Result<()> {
+        let _span = ledger
+            .telemetry()
+            .span("m1.theta")
+            .with_label(theta.to_string());
         let composite = theta.composite_key(&key.key());
         let mut iter = ledger.get_history_for_key(&composite)?;
         // First state only: the event set. The subsequent delete marker's
@@ -403,15 +404,13 @@ impl TemporalEngine for M1Engine {
         scan_entity_keys(ledger, kind)
     }
 
-    fn events_for_key(
-        &self,
-        ledger: &Ledger,
-        key: EntityId,
-        tau: Interval,
-    ) -> Result<Vec<Event>> {
-        let meta = read_meta(ledger)?.ok_or_else(|| {
-            Error::InvalidArgument("M1 indexes have not been built".to_string())
-        })?;
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
+        let _span = ledger
+            .telemetry()
+            .span("m1.key")
+            .with_label(key.to_string());
+        let meta = read_meta(ledger)?
+            .ok_or_else(|| Error::InvalidArgument("M1 indexes have not been built".to_string()))?;
         let mut out = Vec::new();
         if meta.u > 0 {
             for epoch in &meta.epochs {
@@ -475,7 +474,11 @@ mod tests {
             subject: EntityId::shipment(s),
             target: EntityId::container(0),
             time,
-            kind: if time % 20 == 10 { EventKind::Load } else { EventKind::Unload },
+            kind: if time % 20 == 10 {
+                EventKind::Load
+            } else {
+                EventKind::Unload
+            },
         }
     }
 
@@ -591,7 +594,10 @@ mod tests {
             .events_for_key(&ledger, EntityId::shipment(0), Interval::new(150, 250))
             .unwrap();
         let times: Vec<u64> = got.iter().map(|e| e.time).collect();
-        assert_eq!(times, vec![160, 170, 180, 190, 200, 210, 220, 230, 240, 250]);
+        assert_eq!(
+            times,
+            vec![160, 170, 180, 190, 200, 210, 220, 230, 240, 250]
+        );
     }
 
     #[test]

@@ -68,12 +68,11 @@ impl TemporalEngine for M2Engine {
         Ok(keys.into_iter().collect())
     }
 
-    fn events_for_key(
-        &self,
-        ledger: &Ledger,
-        key: EntityId,
-        tau: Interval,
-    ) -> Result<Vec<Event>> {
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
+        let _span = ledger
+            .telemetry()
+            .span("m2.key")
+            .with_label(key.to_string());
         // "From state-db, we find out all indexing intervals for key k
         // which overlap with τ. This is done using a range-scan query."
         let prefix = Interval::key_prefix(&key.key());
@@ -87,6 +86,10 @@ impl TemporalEngine for M2Engine {
             if !theta.overlaps(&tau) {
                 continue;
             }
+            let _theta_span = ledger
+                .telemetry()
+                .span("m2.theta")
+                .with_label(theta.to_string());
             // GHFK on (k, θ): deserializes exactly the blocks holding k's
             // events within θ. The interval's history is in time order, so
             // once past te the lazy iterator is abandoned and the blocks
@@ -141,7 +144,11 @@ mod tests {
             subject: EntityId::shipment(s),
             target: EntityId::container(0),
             time,
-            kind: if time % 20 == 10 { EventKind::Load } else { EventKind::Unload },
+            kind: if time % 20 == 10 {
+                EventKind::Load
+            } else {
+                EventKind::Unload
+            },
         }
     }
 
@@ -172,7 +179,10 @@ mod tests {
             .events_for_key(&ledger, EntityId::shipment(0), Interval::new(150, 250))
             .unwrap();
         let times: Vec<u64> = got.iter().map(|e| e.time).collect();
-        assert_eq!(times, vec![160, 170, 180, 190, 200, 210, 220, 230, 240, 250]);
+        assert_eq!(
+            times,
+            vec![160, 170, 180, 190, 200, 210, 220, 230, 240, 250]
+        );
     }
 
     #[test]
@@ -198,12 +208,13 @@ mod tests {
     fn state_db_holds_one_state_per_interval() {
         let dir = TempDir::new("statecount");
         let ledger = setup(&dir, 100); // events at 10..=400 → 4 intervals
-        let rows = ledger
-            .get_state_by_range(Some(b"S"), Some(b"T"))
-            .unwrap();
+        let rows = ledger.get_state_by_range(Some(b"S"), Some(b"T")).unwrap();
         assert_eq!(rows.len(), 4, "one current state per (k, θ)");
         // Base key is gone: applications cannot see it directly.
-        assert!(ledger.get_state(&EntityId::shipment(0).key()).unwrap().is_none());
+        assert!(ledger
+            .get_state(&EntityId::shipment(0).key())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -211,7 +222,13 @@ mod tests {
         let dir = TempDir::new("listkeys");
         let ledger = Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
         let events = vec![event(0, 10), event(2, 20), event(2, 30)];
-        ingest(&ledger, &events, IngestMode::SingleEvent, &M2Encoder { u: 100 }).unwrap();
+        ingest(
+            &ledger,
+            &events,
+            IngestMode::SingleEvent,
+            &M2Encoder { u: 100 },
+        )
+        .unwrap();
         let keys = M2Engine { u: 100 }
             .list_keys(&ledger, EntityKind::Shipment)
             .unwrap();
@@ -270,7 +287,11 @@ mod tests {
         )
         .unwrap();
         let m2 = setup(&dir_m2, 100);
-        for tau in [Interval::new(0, 400), Interval::new(95, 105), Interval::new(390, 400)] {
+        for tau in [
+            Interval::new(0, 400),
+            Interval::new(95, 105),
+            Interval::new(390, 400),
+        ] {
             let a = crate::tqf::TqfEngine
                 .events_for_key(&base, EntityId::shipment(0), tau)
                 .unwrap();

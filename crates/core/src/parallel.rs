@@ -133,7 +133,13 @@ mod tests {
         let dir = TempDir::new("tqf");
         let workload = generate_scaled(DatasetId::Ds3, 60);
         let ledger = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         let tau = Interval::new(0, workload.params.t_max / 2);
         let seq = ferry_query(&TqfEngine, &ledger, tau).unwrap();
         for workers in [1, 2, 4, 8] {
@@ -149,7 +155,13 @@ mod tests {
         let workload = generate_scaled(DatasetId::Ds3, 60);
         let u = workload.params.t_max / 10;
         let ledger = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u }).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &M2Encoder { u },
+        )
+        .unwrap();
         let tau = Interval::new(workload.params.t_max / 4, workload.params.t_max / 2);
         let engine = M2Engine { u };
         let seq = ferry_query(&engine, &ledger, tau).unwrap();
@@ -162,7 +174,13 @@ mod tests {
         let dir = TempDir::new("edges");
         let workload = generate_scaled(DatasetId::Ds3, 100);
         let ledger = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-        ingest(&ledger, &workload.events, IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::SingleEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         let keys = workload.keys();
         let tau = Interval::new(0, workload.params.t_max);
         // workers = 0 clamps to 1; workers > keys clamps down.

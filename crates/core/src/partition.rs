@@ -166,7 +166,10 @@ mod tests {
         assert_valid_partition(epoch, &parts, &times);
         // The tie at 20 stays in one interval.
         let holding = parts.iter().find(|p| p.contains(20)).unwrap();
-        assert!(times.iter().filter(|&&t| t == 20).all(|&t| holding.contains(t)));
+        assert!(times
+            .iter()
+            .filter(|&&t| t == 20)
+            .all(|&t| holding.contains(t)));
     }
 
     #[test]

@@ -22,10 +22,7 @@ pub struct TqfEngine;
 /// Scan the state database for every entity key of `kind` (a range-scan
 /// query, as TQF's first step prescribes). Composite or metadata keys that
 /// do not parse as entity ids are skipped.
-pub fn scan_entity_keys(
-    ledger: &Ledger,
-    kind: EntityKind,
-) -> Result<Vec<EntityId>> {
+pub fn scan_entity_keys(ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>> {
     let prefix = [kind.prefix()];
     let end = [kind.prefix() + 1];
     let rows = ledger.get_state_by_range(Some(&prefix), Some(&end))?;
@@ -47,12 +44,11 @@ impl TemporalEngine for TqfEngine {
         scan_entity_keys(ledger, kind)
     }
 
-    fn events_for_key(
-        &self,
-        ledger: &Ledger,
-        key: EntityId,
-        tau: Interval,
-    ) -> Result<Vec<Event>> {
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
+        let _span = ledger
+            .telemetry()
+            .span("tqf.key")
+            .with_label(key.to_string());
         let mut iter = ledger.get_history_for_key(&key.key())?;
         let mut out = Vec::new();
         while let Some(state) = iter.next()? {
@@ -119,7 +115,18 @@ mod tests {
     fn filters_to_query_interval() {
         let dir = TempDir::new("filter");
         let events: Vec<Event> = (1..=10)
-            .map(|i| event(0, 0, i * 10, if i % 2 == 1 { EventKind::Load } else { EventKind::Unload }))
+            .map(|i| {
+                event(
+                    0,
+                    0,
+                    i * 10,
+                    if i % 2 == 1 {
+                        EventKind::Load
+                    } else {
+                        EventKind::Unload
+                    },
+                )
+            })
             .collect();
         let ledger = setup(&dir, &events);
         let got = TqfEngine
@@ -133,7 +140,9 @@ mod tests {
     fn early_termination_skips_late_blocks() {
         let dir = TempDir::new("early");
         // 30 events over 10 blocks (3 txs per block, SE).
-        let events: Vec<Event> = (1..=30).map(|i| event(0, 0, i * 10, EventKind::Load)).collect();
+        let events: Vec<Event> = (1..=30)
+            .map(|i| event(0, 0, i * 10, EventKind::Load))
+            .collect();
         let ledger = setup(&dir, &events);
         assert_eq!(ledger.height(), 10);
         let before = ledger.stats();
@@ -144,13 +153,19 @@ mod tests {
         assert_eq!(got.len(), 6);
         let d = ledger.stats().delta(&before);
         // 2 blocks of hits + at most 1 block to see the first time > te.
-        assert!(d.blocks_deserialized <= 3, "deserialized {}", d.blocks_deserialized);
+        assert!(
+            d.blocks_deserialized <= 3,
+            "deserialized {}",
+            d.blocks_deserialized
+        );
     }
 
     #[test]
     fn cost_grows_as_window_moves_right() {
         let dir = TempDir::new("growth");
-        let events: Vec<Event> = (1..=60).map(|i| event(0, 0, i * 10, EventKind::Load)).collect();
+        let events: Vec<Event> = (1..=60)
+            .map(|i| event(0, 0, i * 10, EventKind::Load))
+            .collect();
         let ledger = setup(&dir, &events);
         let cost = |tau: Interval| {
             let before = ledger.stats();

@@ -154,8 +154,9 @@ impl WriteBatch {
             pos += klen;
             match tag {
                 TAG_PUT => {
-                    let vlen =
-                        get_uvarint(data, &mut pos).ok_or_else(|| bad("missing value len"))? as usize;
+                    let vlen = get_uvarint(data, &mut pos)
+                        .ok_or_else(|| bad("missing value len"))?
+                        as usize;
                     let value = data
                         .get(pos..pos + vlen)
                         .ok_or_else(|| bad("truncated value"))?;

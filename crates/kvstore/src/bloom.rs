@@ -140,7 +140,10 @@ mod tests {
             }
         }
         // 10 bits/key gives ~1% theoretically; allow generous slack.
-        assert!(fp < probes / 20, "false positive rate too high: {fp}/{probes}");
+        assert!(
+            fp < probes / 20,
+            "false positive rate too high: {fp}/{probes}"
+        );
     }
 
     #[test]

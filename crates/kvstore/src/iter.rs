@@ -166,11 +166,8 @@ mod tests {
 
     #[test]
     fn newer_source_shadows_older() {
-        let m = MergeIter::new(vec![
-            src(&[("k", Some("new"))]),
-            src(&[("k", Some("old"))]),
-        ])
-        .unwrap();
+        let m =
+            MergeIter::new(vec![src(&[("k", Some("new"))]), src(&[("k", Some("old"))])]).unwrap();
         assert_eq!(collect_live(m), vec![("k".into(), "new".into())]);
     }
 

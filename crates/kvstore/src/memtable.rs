@@ -151,7 +151,10 @@ mod tests {
         assert_eq!(mt.approx_bytes(), after_one);
         // Overwriting with a larger value grows it by exactly the delta.
         mt.put(b("key"), b("a much larger value"));
-        assert_eq!(mt.approx_bytes(), after_one + "a much larger value".len() - 5);
+        assert_eq!(
+            mt.approx_bytes(),
+            after_one + "a much larger value".len() - 5
+        );
     }
 
     #[test]

@@ -227,7 +227,9 @@ impl SsTableWriter {
         let tail_crc = crc32(&tail);
 
         let mut footer = Vec::with_capacity(FOOTER_LEN);
-        for v in [data_len, index_off, index_len, bloom_off, bloom_len, meta_off, meta_len] {
+        for v in [
+            data_len, index_off, index_len, bloom_off, bloom_len, meta_off, meta_len,
+        ] {
             footer.extend_from_slice(&v.to_le_bytes());
         }
         footer.extend_from_slice(&data_crc.to_le_bytes());
@@ -640,8 +642,9 @@ mod tests {
     #[test]
     fn seek_lands_at_or_before_target() {
         let dir = TempDir::new("seek");
-        let entries: Vec<(String, String)> =
-            (0..50).map(|i| (format!("k{i:03}"), format!("{i}"))).collect();
+        let entries: Vec<(String, String)> = (0..50)
+            .map(|i| (format!("k{i:03}"), format!("{i}")))
+            .collect();
         let refs: Vec<(&str, Option<&str>)> = entries
             .iter()
             .map(|(k, v)| (k.as_str(), Some(v.as_str())))
@@ -743,8 +746,11 @@ mod tests {
         let big = "x".repeat(300_000);
         for i in 0..8 {
             let key = format!("key{i}");
-            w.add(key.as_bytes(), &Slot::Value(Bytes::copy_from_slice(big.as_bytes())))
-                .unwrap();
+            w.add(
+                key.as_bytes(),
+                &Slot::Value(Bytes::copy_from_slice(big.as_bytes())),
+            )
+            .unwrap();
         }
         w.finish().unwrap();
         let t = SsTableReader::open(&path).unwrap();
@@ -755,7 +761,18 @@ mod tests {
 
     #[test]
     fn uvarint_len_matches_encoding() {
-        for v in [0u64, 1, 127, 128, 16383, 16384, 1 << 21, 1 << 28, 1 << 35, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            1 << 21,
+            1 << 28,
+            1 << 35,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             put_uvarint(&mut buf, v);
             assert_eq!(buf.len() as u64, uvarint_len(v), "v={v}");

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use fabric_telemetry::Telemetry;
 use parking_lot::RwLock;
 
 use crate::batch::{BatchOp, WriteBatch};
@@ -51,6 +52,7 @@ pub struct KvStore {
     options: Options,
     inner: RwLock<Inner>,
     metrics: Metrics,
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for KvStore {
@@ -70,6 +72,18 @@ fn wal_path(dir: &Path, num: u64) -> PathBuf {
 impl KvStore {
     /// Open (or create) a store in `dir`.
     pub fn open(dir: impl Into<PathBuf>, options: Options) -> Result<Self> {
+        Self::open_with_telemetry(dir, options, Telemetry::disabled())
+    }
+
+    /// Open (or create) a store in `dir`, recording spans and counters
+    /// into `tel` whenever that handle is enabled. The handle is shared:
+    /// the ledger passes the same one to every store it owns so a single
+    /// `enable()` lights up the whole stack.
+    pub fn open_with_telemetry(
+        dir: impl Into<PathBuf>,
+        options: Options,
+        tel: Telemetry,
+    ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::io(format!("creating store dir {}", dir.display()), e))?;
@@ -118,6 +132,7 @@ impl KvStore {
                 next_file,
             }),
             metrics: Metrics::default(),
+            tel,
         };
         store.write_manifest(&store.inner.read())?;
         if old_wal.exists() && old_wal != wal_path(&dir, new_wal_num) {
@@ -194,11 +209,23 @@ impl KvStore {
         if batch.is_empty() {
             return Ok(());
         }
-        let puts = batch.iter().filter(|op| matches!(op, BatchOp::Put { .. })).count();
+        let puts = batch
+            .iter()
+            .filter(|op| matches!(op, BatchOp::Put { .. }))
+            .count();
         let dels = batch.len() - puts;
         let mut inner = self.inner.write();
-        let bytes = inner.wal.append(&batch.encode())?;
+        let bytes = {
+            let mut span = self.tel.span("kv.wal.append");
+            let bytes = inner.wal.append(&batch.encode())?;
+            span.record("bytes", bytes);
+            bytes
+        };
         Metrics::add(&self.metrics.bytes_wal, bytes);
+        if self.options.sync_wal {
+            Metrics::incr(&self.metrics.wal_fsyncs);
+            self.tel.count("kv.wal.fsyncs", 1);
+        }
         Metrics::add(&self.metrics.puts, puts as u64);
         Metrics::add(&self.metrics.deletes, dels as u64);
         Self::apply_to_memtable(&mut inner.memtable, batch);
@@ -223,12 +250,18 @@ impl KvStore {
         for table in inner.tables.iter().rev() {
             if table.definitely_absent(key) {
                 Metrics::incr(&self.metrics.bloom_negatives);
+                self.tel.count("kv.bloom.negatives", 1);
                 continue;
             }
             Metrics::incr(&self.metrics.sstable_point_reads);
+            let _span = self.tel.span("kv.sstable.read");
             if let Some(slot) = table.get(key)? {
                 return Ok(slot.as_value().cloned());
             }
+            // The bloom filter (and key-range check) said "maybe", yet the
+            // table had no entry: a false positive we paid a data read for.
+            Metrics::incr(&self.metrics.bloom_false_positives);
+            self.tel.count("kv.bloom.false_positives", 1);
         }
         Ok(None)
     }
@@ -312,6 +345,7 @@ impl KvStore {
         if inner.memtable.is_empty() {
             return Ok(());
         }
+        let mut span = self.tel.span("kv.memtable.flush");
         let num = inner.next_file;
         inner.next_file += 1;
         let path = sst_path(&self.dir, num);
@@ -324,6 +358,7 @@ impl KvStore {
             writer.add(key, slot)?;
         }
         let bytes = writer.finish()?;
+        span.record("bytes", bytes);
         Metrics::add(&self.metrics.bytes_flushed, bytes);
         Metrics::incr(&self.metrics.flushes);
         inner.tables.push(SsTableReader::open(&path)?);
@@ -351,6 +386,16 @@ impl KvStore {
         if inner.tables.len() <= 1 {
             return Ok(());
         }
+        let mut span = self.tel.span("kv.compaction");
+        // Input size: every live table is read in full during the merge.
+        let bytes_read: u64 = inner
+            .table_nums
+            .iter()
+            .filter_map(|&n| std::fs::metadata(sst_path(&self.dir, n)).ok())
+            .map(|m| m.len())
+            .sum();
+        Metrics::add(&self.metrics.compaction_bytes_read, bytes_read);
+        span.record("bytes_read", bytes_read);
         let num = inner.next_file;
         inner.next_file += 1;
         let path = sst_path(&self.dir, num);
@@ -373,7 +418,9 @@ impl KvStore {
             }
         }
         let bytes = writer.finish()?;
+        span.record("bytes_written", bytes);
         Metrics::add(&self.metrics.bytes_flushed, bytes);
+        Metrics::add(&self.metrics.compaction_bytes_written, bytes);
         Metrics::incr(&self.metrics.compactions);
         let old_nums = std::mem::take(&mut inner.table_nums);
         inner.tables = vec![SsTableReader::open(&path)?];
@@ -424,6 +471,11 @@ impl KvStore {
     /// Snapshot of the operation counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The telemetry handle this store records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Directory this store lives in.
@@ -586,7 +638,8 @@ mod tests {
         let db = open(&dir);
         for round in 0..5 {
             for i in 0..20 {
-                db.put(format!("key{i:03}"), format!("round{round}")).unwrap();
+                db.put(format!("key{i:03}"), format!("round{round}"))
+                    .unwrap();
             }
             db.flush().unwrap();
         }
@@ -768,6 +821,120 @@ mod tests {
     }
 
     #[test]
+    fn bloom_false_positives_are_counted() {
+        let dir = TempDir::new("bloom-fp");
+        // Blooms disabled: every in-range probe of a missing key is a
+        // deterministic "maybe" that misses — exactly the false-positive
+        // accounting path.
+        let mut opts = Options::small_for_tests();
+        opts.bloom_bits_per_key = 0;
+        let db = KvStore::open(&dir.0, opts).unwrap();
+        db.put(&b"aaa"[..], &b"1"[..]).unwrap();
+        db.put(&b"zzz"[..], &b"2"[..]).unwrap();
+        db.flush().unwrap();
+        db.get(b"mmm").unwrap(); // inside [aaa, zzz], not present
+        let m = db.metrics();
+        assert_eq!(m.bloom_false_positives, 1);
+        assert_eq!(m.sstable_point_reads, 1);
+        db.get(b"aaa").unwrap(); // present: a true positive, not counted
+        assert_eq!(db.metrics().bloom_false_positives, 1);
+    }
+
+    #[test]
+    fn wal_fsyncs_are_counted_when_sync_enabled() {
+        let dir = TempDir::new("wal-fsync");
+        let mut opts = Options::small_for_tests();
+        opts.sync_wal = true;
+        let db = KvStore::open(&dir.0, opts).unwrap();
+        db.put(&b"a"[..], &b"1"[..]).unwrap();
+        db.put(&b"b"[..], &b"2"[..]).unwrap();
+        assert_eq!(db.metrics().wal_fsyncs, 2);
+
+        let dir2 = TempDir::new("wal-nosync");
+        let db2 = open(&dir2); // sync_wal = false
+        db2.put(&b"a"[..], &b"1"[..]).unwrap();
+        assert_eq!(db2.metrics().wal_fsyncs, 0);
+    }
+
+    #[test]
+    fn compaction_byte_counters_track_inputs_and_outputs() {
+        let dir = TempDir::new("compact-bytes");
+        let db = open(&dir);
+        for round in 0..3 {
+            for i in 0..20 {
+                db.put(format!("key{i:03}"), format!("round{round}"))
+                    .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert_eq!(db.metrics().compaction_bytes_read, 0);
+        db.compact().unwrap();
+        let m = db.metrics();
+        assert!(m.compaction_bytes_read > 0, "inputs were read");
+        assert!(
+            m.compaction_bytes_written > 0,
+            "an output table was written"
+        );
+        // Shadowed versions are dropped, so the output is smaller than the
+        // three overlapping inputs combined.
+        assert!(m.compaction_bytes_written < m.compaction_bytes_read);
+    }
+
+    #[test]
+    fn telemetry_spans_cover_write_flush_compact() {
+        let dir = TempDir::new("telemetry");
+        let tel = fabric_telemetry::Telemetry::enabled();
+        let db =
+            KvStore::open_with_telemetry(&dir.0, Options::small_for_tests(), tel.clone()).unwrap();
+        for round in 0..2 {
+            for i in 0..40 {
+                db.put(
+                    format!("key{i:03}"),
+                    format!("round{round}-{}", "x".repeat(20)),
+                )
+                .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact().unwrap();
+        db.get(b"key001").unwrap();
+        let spans = tel.drain_spans();
+        let names: std::collections::HashSet<&str> = spans.iter().map(|s| s.name).collect();
+        for expected in [
+            "kv.wal.append",
+            "kv.memtable.flush",
+            "kv.compaction",
+            "kv.sstable.read",
+        ] {
+            assert!(names.contains(expected), "missing span {expected}");
+        }
+        // Auto-compaction may fire during the writes too, so compare the
+        // sum over every compaction span against the cumulative counters.
+        let read: u64 = spans
+            .iter()
+            .filter(|s| s.name == "kv.compaction")
+            .filter_map(|s| s.metric("bytes_read"))
+            .sum();
+        let written: u64 = spans
+            .iter()
+            .filter(|s| s.name == "kv.compaction")
+            .filter_map(|s| s.metric("bytes_written"))
+            .sum();
+        assert_eq!(read, db.metrics().compaction_bytes_read);
+        assert_eq!(written, db.metrics().compaction_bytes_written);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing_by_default() {
+        let dir = TempDir::new("telemetry-off");
+        let db = open(&dir);
+        db.put(&b"k"[..], &b"v"[..]).unwrap();
+        db.flush().unwrap();
+        assert!(!db.telemetry().is_enabled());
+        assert!(db.telemetry().drain_spans().is_empty());
+    }
+
+    #[test]
     fn checkpoint_is_openable_and_frozen() {
         let dir = TempDir::new("ckpt-src");
         let dest = TempDir::new("ckpt-dst");
@@ -787,7 +954,10 @@ mod tests {
         let snap = KvStore::open(&ckpt_dir, Options::small_for_tests()).unwrap();
         assert_eq!(snap.get(b"key000").unwrap().unwrap(), &b"v0"[..]);
         assert_eq!(snap.get(b"key001").unwrap().unwrap(), &b"v1"[..]);
-        assert_eq!(snap.get(b"unflushed").unwrap().unwrap(), &b"in-memtable"[..]);
+        assert_eq!(
+            snap.get(b"unflushed").unwrap().unwrap(),
+            &b"in-memtable"[..]
+        );
         // And the original kept its mutations.
         assert_eq!(db.get(b"key000").unwrap().unwrap(), &b"MUTATED"[..]);
     }
@@ -799,7 +969,10 @@ mod tests {
         db.put(&b"k"[..], &b"v"[..]).unwrap();
         let dest = dir.0.join("snap");
         db.checkpoint(&dest).unwrap();
-        assert!(db.checkpoint(&dest).is_err(), "second checkpoint must refuse");
+        assert!(
+            db.checkpoint(&dest).is_err(),
+            "second checkpoint must refuse"
+        );
     }
 
     #[test]

@@ -143,10 +143,7 @@ mod tests {
         impl TempDir {
             pub fn new() -> Self {
                 let n = N.fetch_add(1, Ordering::Relaxed);
-                let p = std::env::temp_dir().join(format!(
-                    "kvwal-test-{}-{n}",
-                    std::process::id()
-                ));
+                let p = std::env::temp_dir().join(format!("kvwal-test-{}-{n}", std::process::id()));
                 std::fs::create_dir_all(&p).unwrap();
                 TempDir(p)
             }
@@ -171,7 +168,10 @@ mod tests {
         wal.append(b"third record").unwrap();
         drop(wal);
         let records = replay(&path).unwrap();
-        assert_eq!(records, vec![b"first".to_vec(), b"".to_vec(), b"third record".to_vec()]);
+        assert_eq!(
+            records,
+            vec![b"first".to_vec(), b"".to_vec(), b"third record".to_vec()]
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use fabric_kvstore::crc32::crc32;
+use fabric_telemetry::Telemetry;
 
 use crate::block::Block;
 use crate::error::{Error, Result};
@@ -74,6 +75,7 @@ pub struct BlockFileManager {
     /// Cached read handles, keyed by file number.
     readers: Mutex<HashMap<u32, Arc<File>>>,
     stats: Arc<IoStats>,
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for BlockFileManager {
@@ -91,6 +93,17 @@ fn file_path(dir: &Path, num: u32) -> PathBuf {
 impl BlockFileManager {
     /// Open the manager in `dir`, resuming after the highest existing file.
     pub fn open(dir: impl Into<PathBuf>, max_file_bytes: u64, stats: Arc<IoStats>) -> Result<Self> {
+        Self::open_with_telemetry(dir, max_file_bytes, stats, Telemetry::disabled())
+    }
+
+    /// Like [`BlockFileManager::open`], recording a `block.deserialize`
+    /// span per [`BlockFileManager::read_block`] into `tel` when enabled.
+    pub fn open_with_telemetry(
+        dir: impl Into<PathBuf>,
+        max_file_bytes: u64,
+        stats: Arc<IoStats>,
+        tel: Telemetry,
+    ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::io(format!("creating block dir {}", dir.display()), e))?;
@@ -126,6 +139,7 @@ impl BlockFileManager {
             active: Mutex::new(ActiveFile { num, file, offset }),
             readers: Mutex::new(HashMap::new()),
             stats,
+            tel,
         })
     }
 
@@ -200,6 +214,23 @@ impl BlockFileManager {
     /// This is the deliberate cost centre: one call = one block
     /// deserialization, counted in [`IoStats::blocks_deserialized`].
     pub fn read_block(&self, location: BlockLocation) -> Result<Block> {
+        let mut span = self.tel.span("block.deserialize");
+        match self.read_block_inner(location) {
+            Ok(block) => {
+                span.record("bytes", location.len as u64);
+                self.tel.count("ledger.blocks.deserialized", 1);
+                Ok(block)
+            }
+            Err(e) => {
+                // A failed read is not a deserialization: keep the span
+                // count in lock-step with `IoStats::blocks_deserialized`.
+                span.cancel();
+                Err(e)
+            }
+        }
+    }
+
+    fn read_block_inner(&self, location: BlockLocation) -> Result<Block> {
         use std::os::unix::fs::FileExt;
         let file = self.reader(location.file_num)?;
         let mut frame = vec![0u8; location.len as usize];
@@ -449,10 +480,7 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let stats = IoStats::new_shared();
         let mgr = BlockFileManager::open(&dir.0, 1 << 20, stats.clone()).unwrap();
-        assert!(matches!(
-            mgr.read_block(loc),
-            Err(Error::Corruption { .. })
-        ));
+        assert!(matches!(mgr.read_block(loc), Err(Error::Corruption { .. })));
         // Failed reads must not count as deserializations.
         assert_eq!(stats.snapshot().blocks_deserialized, 0);
     }

@@ -275,16 +275,32 @@ mod tests {
             last_hash: Digest::ZERO,
         };
         // Insert out of block order to prove ordering comes from the index.
-        idx.index_block(10, loc(1), &[(key.clone(), 2)], &[], tip(11)).unwrap();
-        idx.index_block(3, loc(2), &[(key.clone(), 0), (key.clone(), 7)], &[], tip(11))
+        idx.index_block(10, loc(1), &[(key.clone(), 2)], &[], tip(11))
             .unwrap();
+        idx.index_block(
+            3,
+            loc(2),
+            &[(key.clone(), 0), (key.clone(), 7)],
+            &[],
+            tip(11),
+        )
+        .unwrap();
         let locs = idx.history_locations(b"ship-1").unwrap();
         assert_eq!(
             locs,
             vec![
-                HistoryLocation { block_num: 3, tx_num: 0 },
-                HistoryLocation { block_num: 3, tx_num: 7 },
-                HistoryLocation { block_num: 10, tx_num: 2 },
+                HistoryLocation {
+                    block_num: 3,
+                    tx_num: 0
+                },
+                HistoryLocation {
+                    block_num: 3,
+                    tx_num: 7
+                },
+                HistoryLocation {
+                    block_num: 10,
+                    tx_num: 2
+                },
             ]
         );
     }
@@ -302,7 +318,10 @@ mod tests {
         idx.index_block(
             0,
             loc(0),
-            &[(Bytes::from_static(b"ship"), 0), (Bytes::from_static(b"ship-1"), 1)],
+            &[
+                (Bytes::from_static(b"ship"), 0),
+                (Bytes::from_static(b"ship-1"), 1),
+            ],
             &[],
             tip,
         )
@@ -335,8 +354,10 @@ mod tests {
         };
         let key = Bytes::from_static(b"k");
         // Block 255 vs 256 would sort wrongly under a naive LE encoding.
-        idx.index_block(256, loc(2), &[(key.clone(), 0)], &[], tip).unwrap();
-        idx.index_block(255, loc(1), &[(key.clone(), 0)], &[], tip).unwrap();
+        idx.index_block(256, loc(2), &[(key.clone(), 0)], &[], tip)
+            .unwrap();
+        idx.index_block(255, loc(1), &[(key.clone(), 0)], &[], tip)
+            .unwrap();
         let locs = idx.history_locations(b"k").unwrap();
         assert_eq!(locs[0].block_num, 255);
         assert_eq!(locs[1].block_num, 256);

@@ -94,6 +94,12 @@ pub struct IoStatsSnapshot {
 }
 
 impl IoStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating). Alias of
+    /// [`IoStatsSnapshot::delta`] matching the kvstore snapshot API.
+    pub fn diff(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        self.delta(earlier)
+    }
+
     /// Counter-wise difference `self - earlier` (saturating).
     pub fn delta(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -101,17 +107,46 @@ impl IoStatsSnapshot {
             blocks_deserialized: self
                 .blocks_deserialized
                 .saturating_sub(earlier.blocks_deserialized),
-            block_bytes_read: self.block_bytes_read.saturating_sub(earlier.block_bytes_read),
+            block_bytes_read: self
+                .block_bytes_read
+                .saturating_sub(earlier.block_bytes_read),
             block_bytes_written: self
                 .block_bytes_written
                 .saturating_sub(earlier.block_bytes_written),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             ghfk_calls: self.ghfk_calls.saturating_sub(earlier.ghfk_calls),
             get_state_calls: self.get_state_calls.saturating_sub(earlier.get_state_calls),
-            range_scan_calls: self.range_scan_calls.saturating_sub(earlier.range_scan_calls),
+            range_scan_calls: self
+                .range_scan_calls
+                .saturating_sub(earlier.range_scan_calls),
             txs_committed: self.txs_committed.saturating_sub(earlier.txs_committed),
-            blocks_committed: self.blocks_committed.saturating_sub(earlier.blocks_committed),
+            blocks_committed: self
+                .blocks_committed
+                .saturating_sub(earlier.blocks_committed),
         }
+    }
+}
+
+impl std::fmt::Display for IoStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "blocks_committed {}  txs_committed {}  blocks_written {}  block_bytes_written {}",
+            self.blocks_committed,
+            self.txs_committed,
+            self.blocks_written,
+            self.block_bytes_written
+        )?;
+        writeln!(
+            f,
+            "blocks_deserialized {}  block_bytes_read {}  cache_hits {}",
+            self.blocks_deserialized, self.block_bytes_read, self.cache_hits
+        )?;
+        write!(
+            f,
+            "ghfk_calls {}  get_state_calls {}  range_scan_calls {}",
+            self.ghfk_calls, self.get_state_calls, self.range_scan_calls
+        )
     }
 }
 
@@ -131,6 +166,39 @@ mod tests {
         assert_eq!(d.ghfk_calls, 1);
         assert_eq!(d.block_bytes_read, 500);
         assert_eq!(d.blocks_written, 0);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let text = IoStatsSnapshot::default().to_string();
+        for field in [
+            "blocks_committed",
+            "txs_committed",
+            "blocks_written",
+            "block_bytes_written",
+            "blocks_deserialized",
+            "block_bytes_read",
+            "cache_hits",
+            "ghfk_calls",
+            "get_state_calls",
+            "range_scan_calls",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+
+    #[test]
+    fn diff_is_an_alias_for_delta() {
+        let a = IoStatsSnapshot {
+            ghfk_calls: 7,
+            ..Default::default()
+        };
+        let b = IoStatsSnapshot {
+            ghfk_calls: 3,
+            ..Default::default()
+        };
+        assert_eq!(a.diff(&b), a.delta(&b));
+        assert_eq!(a.diff(&b).ghfk_calls, 4);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use fabric_kvstore::KvStore;
+use fabric_telemetry::{SpanGuard, Telemetry};
 
 use crate::block::Block;
 use crate::blockfile::BlockFileManager;
@@ -56,6 +57,7 @@ pub struct Ledger {
     #[allow(dead_code)]
     dir: PathBuf,
     stats: Arc<IoStats>,
+    tel: Telemetry,
     blockfiles: BlockFileManager,
     index: LedgerIndex,
     state: StateDb,
@@ -88,14 +90,38 @@ impl std::fmt::Debug for Ledger {
 }
 
 impl Ledger {
-    /// Open (or create) a ledger rooted at `dir`.
+    /// Open (or create) a ledger rooted at `dir`. Telemetry starts
+    /// disabled; call [`Ledger::telemetry`]`().enable()` to light it up.
     pub fn open(dir: impl Into<PathBuf>, config: LedgerConfig) -> Result<Self> {
+        Self::open_with_telemetry(dir, config, Telemetry::disabled())
+    }
+
+    /// Open (or create) a ledger rooted at `dir`, sharing `tel` with every
+    /// component it owns: block files, the index store and the state store
+    /// all record spans and counters into the same handle.
+    pub fn open_with_telemetry(
+        dir: impl Into<PathBuf>,
+        config: LedgerConfig,
+        tel: Telemetry,
+    ) -> Result<Self> {
         let dir = dir.into();
         let stats = IoStats::new_shared();
-        let blockfiles =
-            BlockFileManager::open(dir.join("blocks"), config.blockfile_max_bytes, stats.clone())?;
-        let index_db = Arc::new(KvStore::open(dir.join("index"), config.index_db.clone())?);
-        let state_db = Arc::new(KvStore::open(dir.join("state"), config.state_db.clone())?);
+        let blockfiles = BlockFileManager::open_with_telemetry(
+            dir.join("blocks"),
+            config.blockfile_max_bytes,
+            stats.clone(),
+            tel.clone(),
+        )?;
+        let index_db = Arc::new(KvStore::open_with_telemetry(
+            dir.join("index"),
+            config.index_db.clone(),
+            tel.clone(),
+        )?);
+        let state_db = Arc::new(KvStore::open_with_telemetry(
+            dir.join("state"),
+            config.state_db.clone(),
+            tel.clone(),
+        )?);
         let index = LedgerIndex::new(index_db);
         let state = StateDb::new(state_db);
         let cache = if config.cache_blocks > 0 {
@@ -110,12 +136,16 @@ impl Ledger {
         let ledger = Ledger {
             dir,
             stats,
+            tel,
             blockfiles,
             index,
             state,
             cache,
             chain: Mutex::new(tip),
-            cutter: Mutex::new(BlockCutter::new(config.block_max_txs, config.block_max_bytes)),
+            cutter: Mutex::new(BlockCutter::new(
+                config.block_max_txs,
+                config.block_max_bytes,
+            )),
             subscribers: Mutex::new(Vec::new()),
         };
         ledger.recover()?;
@@ -144,7 +174,8 @@ impl Ledger {
                 height: num + 1,
                 last_hash: block.hash(),
             };
-            self.index.index_block(num, location, &history, &tx_ids, tip)?;
+            self.index
+                .index_block(num, location, &history, &tx_ids, tip)?;
             self.state.apply(&writes)?;
             recovered_tip = Some(tip);
             Ok(())
@@ -215,6 +246,7 @@ impl Ledger {
 
     /// Validate, assemble, persist and index one block.
     fn commit_batch(&self, txs: Vec<Transaction>) -> Result<BlockNum> {
+        let mut commit_span = self.tel.span("ledger.commit");
         let mut chain = self.chain.lock();
         let block_num = chain.height;
         // MVCC validation: a read set is valid when every observed version
@@ -222,48 +254,65 @@ impl Ledger {
         // earlier transactions in this same block.
         let mut intra_block: HashMap<Bytes, Option<Version>> = HashMap::new();
         let mut validation = Vec::with_capacity(txs.len());
-        for (i, tx) in txs.iter().enumerate() {
-            let mut ok = true;
-            for r in &tx.reads {
-                let current = match intra_block.get(&r.key) {
-                    Some(v) => *v,
-                    None => self.state.version(&r.key)?,
-                };
-                if current != r.version {
-                    ok = false;
-                    break;
-                }
-            }
-            let code = if ok {
-                ValidationCode::Valid
-            } else {
-                ValidationCode::MvccConflict
-            };
-            if code == ValidationCode::Valid {
-                for w in &tx.writes {
-                    let ver = Version {
-                        block_num,
-                        tx_num: i as TxNum,
+        {
+            let _s = self.tel.span("commit.mvcc_validate");
+            for (i, tx) in txs.iter().enumerate() {
+                let mut ok = true;
+                for r in &tx.reads {
+                    let current = match intra_block.get(&r.key) {
+                        Some(v) => *v,
+                        None => self.state.version(&r.key)?,
                     };
-                    intra_block.insert(
-                        w.key.clone(),
-                        if w.value.is_some() { Some(ver) } else { None },
-                    );
+                    if current != r.version {
+                        ok = false;
+                        break;
+                    }
                 }
+                let code = if ok {
+                    ValidationCode::Valid
+                } else {
+                    ValidationCode::MvccConflict
+                };
+                if code == ValidationCode::Valid {
+                    for w in &tx.writes {
+                        let ver = Version {
+                            block_num,
+                            tx_num: i as TxNum,
+                        };
+                        intra_block.insert(
+                            w.key.clone(),
+                            if w.value.is_some() { Some(ver) } else { None },
+                        );
+                    }
+                }
+                validation.push(code);
             }
-            validation.push(code);
         }
         let tx_count = txs.len() as u64;
-        let block = Block::new(block_num, chain.last_hash, txs, validation)?;
-        let location = self.blockfiles.append_block(&block)?;
+        let block = {
+            let _s = self.tel.span("commit.assemble");
+            Block::new(block_num, chain.last_hash, txs, validation)?
+        };
+        let location = {
+            let _s = self.tel.span("commit.append");
+            self.blockfiles.append_block(&block)?
+        };
         let (history, writes, tx_ids) = Self::collect_effects(&block);
         let tip = ChainTip {
             height: block_num + 1,
             last_hash: block.hash(),
         };
-        self.index.index_block(block_num, location, &history, &tx_ids, tip)?;
-        self.state.apply(&writes)?;
+        {
+            let _s = self.tel.span("commit.index");
+            self.index
+                .index_block(block_num, location, &history, &tx_ids, tip)?;
+        }
+        {
+            let _s = self.tel.span("commit.statedb");
+            self.state.apply(&writes)?;
+        }
         *chain = tip;
+        commit_span.record("txs", tx_count);
         IoStats::add(&self.stats.txs_committed, tx_count);
         IoStats::incr(&self.stats.blocks_committed);
         self.notify_commit(CommitEvent {
@@ -310,6 +359,7 @@ impl Ledger {
         if let Some(cache) = &self.cache {
             if let Some(block) = cache.get(num) {
                 IoStats::incr(&self.stats.cache_hits);
+                self.tel.count("ledger.cache.hits", 1);
                 return Ok(block);
             }
         }
@@ -369,12 +419,20 @@ impl Ledger {
     /// is precisely the behaviour the paper's Model M1 exploits.
     pub fn get_history_for_key(&self, key: &[u8]) -> Result<HistoryIterator<'_>> {
         IoStats::incr(&self.stats.ghfk_calls);
+        // The span lives inside the iterator: per-block deserialize spans
+        // nest under it for as long as the cursor is alive, so a trace
+        // shows exactly which blocks each GHFK call paid for.
+        let span = self
+            .tel
+            .span("ghfk")
+            .with_label(String::from_utf8_lossy(key).into_owned());
         let locations = self.index.history_locations(key)?;
         Ok(HistoryIterator {
             ledger: self,
             key: Bytes::copy_from_slice(key),
             locations: locations.into_iter(),
             current_block: None,
+            span,
         })
     }
 
@@ -435,6 +493,12 @@ impl Ledger {
     /// counters against this ledger).
     pub fn stats_handle(&self) -> Arc<IoStats> {
         self.stats.clone()
+    }
+
+    /// The telemetry handle shared by the block files, index store and
+    /// state store. Enable it to record spans/histograms across the stack.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Flush state and index stores (clean shutdown aid; the block files
@@ -507,6 +571,10 @@ pub struct HistoryIterator<'l> {
     /// The most recently deserialized block, reused while consecutive
     /// history entries fall in the same block.
     current_block: Option<(BlockNum, Arc<Block>)>,
+    /// Open `ghfk` span; per-block `block.deserialize` spans nest under
+    /// it until the iterator is dropped. Each consumed entry bumps the
+    /// span's `entries` metric.
+    span: SpanGuard,
 }
 
 impl<'l> HistoryIterator<'l> {
@@ -530,6 +598,7 @@ impl<'l> HistoryIterator<'l> {
                 loc.tx_num, loc.block_num
             ))
         })?;
+        self.span.record("entries", 1);
         let write = tx
             .writes
             .iter()
@@ -568,6 +637,7 @@ impl<'l> HistoryIterator<'l> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blockfile::BlockLocation;
     use crate::tx::{KvRead, KvWrite};
 
     struct TempDir(PathBuf);
@@ -779,7 +849,9 @@ mod tests {
         let dir = TempDir::new("verify");
         let ledger = open(&dir);
         for i in 0..12 {
-            ledger.submit(put_tx(i, &format!("k{}", i % 4), &format!("v{i}"))).unwrap();
+            ledger
+                .submit(put_tx(i, &format!("k{}", i % 4), &format!("v{i}")))
+                .unwrap();
         }
         ledger.cut_block().unwrap();
         let tip = ledger.verify_chain().unwrap();
@@ -790,10 +862,7 @@ mod tests {
     fn missing_block_is_not_found() {
         let dir = TempDir::new("missing");
         let ledger = open(&dir);
-        assert!(matches!(
-            ledger.get_block(99),
-            Err(Error::NotFound(_))
-        ));
+        assert!(matches!(ledger.get_block(99), Err(Error::NotFound(_))));
     }
 
     #[test]
@@ -831,8 +900,16 @@ mod tests {
             ledger.submit(put_tx(i, "k", &format!("v{i}"))).unwrap();
         }
         let before = ledger.stats();
-        ledger.get_history_for_key(b"k").unwrap().collect_all().unwrap();
-        ledger.get_history_for_key(b"k").unwrap().collect_all().unwrap();
+        ledger
+            .get_history_for_key(b"k")
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        ledger
+            .get_history_for_key(b"k")
+            .unwrap()
+            .collect_all()
+            .unwrap();
         let d = ledger.stats().delta(&before);
         assert_eq!(d.blocks_deserialized, 1, "second read should hit cache");
         assert!(d.cache_hits >= 1);
@@ -867,14 +944,24 @@ mod tests {
             key: Bytes::from_static(b"k"),
             version: Some(v0),
         };
-        let t1 = Transaction::new(2, vec![read.clone()], vec![KvWrite {
-            key: Bytes::from_static(b"k"),
-            value: Some(Bytes::from_static(b"a")),
-        }]).unwrap();
-        let t2 = Transaction::new(3, vec![read], vec![KvWrite {
-            key: Bytes::from_static(b"k"),
-            value: Some(Bytes::from_static(b"b")),
-        }]).unwrap();
+        let t1 = Transaction::new(
+            2,
+            vec![read.clone()],
+            vec![KvWrite {
+                key: Bytes::from_static(b"k"),
+                value: Some(Bytes::from_static(b"a")),
+            }],
+        )
+        .unwrap();
+        let t2 = Transaction::new(
+            3,
+            vec![read],
+            vec![KvWrite {
+                key: Bytes::from_static(b"k"),
+                value: Some(Bytes::from_static(b"b")),
+            }],
+        )
+        .unwrap();
         let id2 = t2.id;
         ledger.submit(t1).unwrap();
         ledger.submit(t2).unwrap();
@@ -889,7 +976,9 @@ mod tests {
         let ledger = open(&dir); // batch size 3
         let rx = ledger.subscribe();
         for i in 0..6 {
-            ledger.submit(put_tx(i * 10, &format!("k{i}"), "v")).unwrap();
+            ledger
+                .submit(put_tx(i * 10, &format!("k{i}"), "v"))
+                .unwrap();
         }
         ledger.submit(put_tx(100, "last", "v")).unwrap();
         ledger.cut_block().unwrap();
@@ -913,6 +1002,129 @@ mod tests {
         }
         ledger.cut_block().unwrap();
         assert_eq!(ledger.height(), 2);
+    }
+
+    #[test]
+    fn telemetry_nests_block_deserialize_under_ghfk() {
+        let dir = TempDir::new("tel-ghfk");
+        let tel = Telemetry::enabled();
+        let ledger =
+            Ledger::open_with_telemetry(&dir.0, LedgerConfig::small_for_tests(), tel.clone())
+                .unwrap();
+        for i in 0..9 {
+            ledger.submit(put_tx(i, "k", &format!("v{i}"))).unwrap();
+        }
+        assert_eq!(ledger.height(), 3);
+        tel.reset();
+        let before = ledger.stats();
+        ledger
+            .get_history_for_key(b"k")
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        let deserialized = ledger.stats().delta(&before).blocks_deserialized;
+        assert_eq!(deserialized, 3);
+        let tree = tel.span_tree();
+        let ghfk: Vec<_> = tree.iter().filter(|n| n.record.name == "ghfk").collect();
+        assert_eq!(ghfk.len(), 1, "one root ghfk span, got: {tree:?}");
+        assert_eq!(ghfk[0].record.label.as_deref(), Some("k"));
+        assert_eq!(ghfk[0].count_named("block.deserialize"), 3);
+        assert_eq!(ghfk[0].record.metric("entries"), Some(9));
+        // The registry counter tracks IoStats exactly.
+        assert_eq!(
+            tel.snapshot().counter("ledger.blocks.deserialized"),
+            deserialized
+        );
+    }
+
+    #[test]
+    fn telemetry_records_commit_pipeline_phases() {
+        let dir = TempDir::new("tel-commit");
+        let tel = Telemetry::enabled();
+        let ledger =
+            Ledger::open_with_telemetry(&dir.0, LedgerConfig::small_for_tests(), tel.clone())
+                .unwrap();
+        for i in 0..3 {
+            ledger.submit(put_tx(i, &format!("k{i}"), "v")).unwrap();
+        }
+        assert_eq!(ledger.height(), 1);
+        let tree = tel.span_tree();
+        let commit = tree
+            .iter()
+            .find(|n| n.record.name == "ledger.commit")
+            .expect("commit span");
+        assert_eq!(commit.record.metric("txs"), Some(3));
+        for phase in [
+            "commit.mvcc_validate",
+            "commit.assemble",
+            "commit.append",
+            "commit.index",
+            "commit.statedb",
+        ] {
+            assert_eq!(commit.count_named(phase), 1, "missing {phase}");
+        }
+        // The shared handle reaches the underlying kvstores too: a commit
+        // writes both the index and state stores through their WALs.
+        assert!(tel.snapshot().histogram("kv.wal.append").is_some());
+    }
+
+    #[test]
+    fn disabled_telemetry_ledger_records_nothing() {
+        let dir = TempDir::new("tel-off");
+        let ledger = open(&dir);
+        for i in 0..3 {
+            ledger.submit(put_tx(i, "k", &format!("v{i}"))).unwrap();
+        }
+        ledger
+            .get_history_for_key(b"k")
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        assert!(ledger.telemetry().drain_spans().is_empty());
+        assert!(ledger.telemetry().snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn failed_block_read_does_not_record_a_deserialize_span() {
+        let dir = TempDir::new("tel-corrupt");
+        let tel = Telemetry::enabled();
+        {
+            let ledger =
+                Ledger::open_with_telemetry(&dir.0, LedgerConfig::small_for_tests(), tel.clone())
+                    .unwrap();
+            for i in 0..3 {
+                ledger.submit(put_tx(i, "k", &format!("v{i}"))).unwrap();
+            }
+            ledger.flush_stores().unwrap();
+        }
+        // Flip a payload byte in the only block file.
+        let path = dir.0.join("blocks").join("blockfile_000000");
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 5] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let stats = IoStats::new_shared();
+        let mgr = BlockFileManager::open_with_telemetry(
+            dir.0.join("blocks"),
+            1 << 20,
+            stats.clone(),
+            tel.clone(),
+        )
+        .unwrap();
+        tel.reset();
+        let loc = BlockLocation {
+            file_num: 0,
+            offset: 0,
+            len: n as u32,
+        };
+        assert!(mgr.read_block(loc).is_err());
+        let spans = tel.drain_spans();
+        assert!(
+            spans.iter().all(|s| s.name != "block.deserialize"),
+            "failed read must not count: {spans:?}"
+        );
+        assert_eq!(stats.snapshot().blocks_deserialized, 0);
+        assert_eq!(tel.snapshot().counter("ledger.blocks.deserialized"), 0);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub use block::{Block, BlockHeader};
 pub use blockfile::{BlockFileManager, BlockLocation};
 pub use config::LedgerConfig;
 pub use error::{Error, Result};
+pub use fabric_telemetry::Telemetry;
 pub use hash::{sha256, Digest};
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use ledger::{CommitEvent, HistoricalState, HistoryIterator, Ledger, StateUpdate};

@@ -183,7 +183,11 @@ mod tests {
         assert!(sim.get_state(b"missing").unwrap().is_none());
         let tx = sim.into_transaction(2).unwrap();
         assert_eq!(tx.reads.len(), 2);
-        let k_read = tx.reads.iter().find(|r| r.key == Bytes::from_static(b"k")).unwrap();
+        let k_read = tx
+            .reads
+            .iter()
+            .find(|r| r.key == Bytes::from_static(b"k"))
+            .unwrap();
         assert!(k_read.version.is_some());
         let missing_read = tx
             .reads
@@ -243,12 +247,23 @@ mod tests {
         for (i, k) in ["a", "b", "c"].iter().enumerate() {
             let mut sim = TxSimulator::new(&ledger);
             sim.put_state(Bytes::copy_from_slice(k.as_bytes()), &b"v"[..]);
-            ledger.submit(sim.into_transaction(i as u64).unwrap()).unwrap();
+            ledger
+                .submit(sim.into_transaction(i as u64).unwrap())
+                .unwrap();
         }
         ledger.cut_block().unwrap();
         let sim = TxSimulator::new(&ledger);
-        assert_eq!(sim.get_state_by_range(Some(b"a"), Some(b"c")).unwrap().len(), 2);
-        let history = sim.get_history_for_key(b"b").unwrap().collect_all().unwrap();
+        assert_eq!(
+            sim.get_state_by_range(Some(b"a"), Some(b"c"))
+                .unwrap()
+                .len(),
+            2
+        );
+        let history = sim
+            .get_history_for_key(b"b")
+            .unwrap()
+            .collect_all()
+            .unwrap();
         assert_eq!(history.len(), 1);
     }
 }

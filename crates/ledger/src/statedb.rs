@@ -190,8 +190,12 @@ mod tests {
     fn apply_and_get() {
         let dir = TempDir::new("ag");
         let db = statedb(&dir);
-        db.apply(&[(Bytes::from_static(b"k"), Some(Bytes::from_static(b"val")), v(1, 0))])
-            .unwrap();
+        db.apply(&[(
+            Bytes::from_static(b"k"),
+            Some(Bytes::from_static(b"val")),
+            v(1, 0),
+        )])
+        .unwrap();
         let got = db.get(b"k").unwrap().unwrap();
         assert_eq!(got.value, Bytes::from_static(b"val"));
         assert_eq!(got.version, v(1, 0));
@@ -203,12 +207,24 @@ mod tests {
     fn apply_overwrites_and_deletes() {
         let dir = TempDir::new("od");
         let db = statedb(&dir);
-        db.apply(&[(Bytes::from_static(b"k"), Some(Bytes::from_static(b"v1")), v(1, 0))])
+        db.apply(&[(
+            Bytes::from_static(b"k"),
+            Some(Bytes::from_static(b"v1")),
+            v(1, 0),
+        )])
+        .unwrap();
+        db.apply(&[(
+            Bytes::from_static(b"k"),
+            Some(Bytes::from_static(b"v2")),
+            v(2, 0),
+        )])
+        .unwrap();
+        assert_eq!(
+            db.get(b"k").unwrap().unwrap().value,
+            Bytes::from_static(b"v2")
+        );
+        db.apply(&[(Bytes::from_static(b"k"), None, v(3, 0))])
             .unwrap();
-        db.apply(&[(Bytes::from_static(b"k"), Some(Bytes::from_static(b"v2")), v(2, 0))])
-            .unwrap();
-        assert_eq!(db.get(b"k").unwrap().unwrap().value, Bytes::from_static(b"v2"));
-        db.apply(&[(Bytes::from_static(b"k"), None, v(3, 0))]).unwrap();
         assert_eq!(db.get(b"k").unwrap(), None);
     }
 

@@ -206,11 +206,7 @@ impl Transaction {
                     block_num: c.get_u64()?,
                     tx_num: c.get_u32()?,
                 }),
-                other => {
-                    return Err(Error::InvalidArgument(format!(
-                        "bad version flag {other}"
-                    )))
-                }
+                other => return Err(Error::InvalidArgument(format!("bad version flag {other}"))),
             };
             reads.push(KvRead { key, version });
         }
@@ -222,9 +218,7 @@ impl Transaction {
             let value = match has_value {
                 0 => None,
                 1 => Some(c.get_bytes_owned()?),
-                other => {
-                    return Err(Error::InvalidArgument(format!("bad value flag {other}")))
-                }
+                other => return Err(Error::InvalidArgument(format!("bad value flag {other}"))),
             };
             writes.push(KvWrite { key, value });
         }

@@ -1,0 +1,255 @@
+//! Exporters: human-readable tables, JSON-lines, CSV.
+//!
+//! JSON is emitted by hand (the workspace deliberately avoids a JSON
+//! dependency); only the small subset needed here — objects of strings
+//! and integers — is produced, with full string escaping.
+
+use std::fmt::Write as _;
+
+use crate::registry::RegistrySnapshot;
+
+/// Format a nanosecond duration for humans: `421ns`, `3.2µs`, `18.4ms`, `2.01s`.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A registry snapshot plus free-form context fields (`engine`, `dataset`,
+/// `scale`, …), ready for machine-readable export.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Context key/value pairs emitted ahead of the metrics.
+    pub meta: Vec<(String, String)>,
+    /// The instrument values being reported.
+    pub snapshot: RegistrySnapshot,
+}
+
+impl Report {
+    /// Wrap a snapshot with no context.
+    pub fn new(snapshot: RegistrySnapshot) -> Self {
+        Report {
+            meta: Vec::new(),
+            snapshot,
+        }
+    }
+
+    /// Add a context field (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// One JSON object on one line (JSON-lines record). Histograms are
+    /// summarised as count/sum/min/max/mean/p50/p95/p99.
+    pub fn json_line(&self) -> String {
+        let mut out = String::from("{");
+        for (k, v) in &self.meta {
+            let _ = write!(out, "\"{}\":\"{}\",", json_escape(k), json_escape(v));
+        }
+        out.push_str("\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.snapshot.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", json_escape(k));
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (k, v) in &self.snapshot.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", json_escape(k));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (k, h) in &self.snapshot.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// CSV with one row per instrument. Counter/gauge rows carry only
+    /// `value`; histogram rows fill the quantile columns.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,sum,min,max,mean,p50,p95,p99\n");
+        for (k, v) in &self.snapshot.counters {
+            let _ = writeln!(out, "counter,{},{v},,,,,,,,", csv_field(k));
+        }
+        for (k, v) in &self.snapshot.gauges {
+            let _ = writeln!(out, "gauge,{},{v},,,,,,,,", csv_field(k));
+        }
+        for (k, h) in &self.snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{},,{},{},{},{},{},{},{},{}",
+                csv_field(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            );
+        }
+        out
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render counters, gauges, and histogram quantiles as an aligned,
+/// human-readable table. Histogram values are formatted as durations
+/// (they are nanoseconds for every span-fed histogram).
+pub fn render_table(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
+        let width = snapshot
+            .counters
+            .keys()
+            .chain(snapshot.gauges.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        out.push_str("counters:\n");
+        for (k, v) in &snapshot.counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+        for (k, v) in &snapshot.gauges {
+            let _ = writeln!(out, "  {k:<width$}  {v} (gauge)");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let width = snapshot
+            .histograms
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+            "span", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (k, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "{k:<width$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+                h.count,
+                fmt_ns(h.mean()),
+                fmt_ns(h.p50()),
+                fmt_ns(h.p95()),
+                fmt_ns(h.p99()),
+                fmt_ns(h.max),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> RegistrySnapshot {
+        let tel = Telemetry::enabled();
+        tel.count("blocks_deserialized", 42);
+        tel.observe("ghfk", 1_500);
+        tel.observe("ghfk", 2_500);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn json_line_is_flat_and_escaped() {
+        let report = Report::new(sample())
+            .with("engine", "tqf")
+            .with("note", "a\"b\\c");
+        let line = report.json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"engine\":\"tqf\""));
+        assert!(line.contains("\"note\":\"a\\\"b\\\\c\""));
+        assert!(line.contains("\"blocks_deserialized\":42"));
+        assert!(line.contains("\"ghfk\":{\"count\":2"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = Report::new(sample()).csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("kind,name,value"));
+        assert!(csv.contains("counter,blocks_deserialized,42"));
+        assert!(csv.contains("histogram,ghfk,,2,"));
+    }
+
+    #[test]
+    fn table_mentions_every_instrument() {
+        let table = render_table(&sample());
+        assert!(table.contains("blocks_deserialized"));
+        assert!(table.contains("ghfk"));
+        assert!(table.contains("p95"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(421), "421ns");
+        assert_eq!(fmt_ns(3_200), "3.2µs");
+        assert_eq!(fmt_ns(18_400_000), "18.4ms");
+        assert_eq!(fmt_ns(2_010_000_000), "2.01s");
+    }
+}

@@ -1,0 +1,237 @@
+//! Log-bucketed latency histogram, HDR-style.
+//!
+//! Values 0–15 get exact buckets; above that each power-of-two octave is
+//! split into 8 log-linear sub-buckets, i.e. relative error ≤ 12.5% —
+//! plenty for latency quantiles while keeping the whole histogram at 496
+//! fixed buckets (~4 KB of atomics, no allocation on record).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: 16 exact + 8 sub-buckets × 60 octaves (2^4..2^63).
+pub const BUCKETS: usize = 16 + 8 * 60;
+
+/// Map a value to its bucket index. Total order: monotone in `value`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < 16 {
+        value as usize
+    } else {
+        let e = 63 - value.leading_zeros() as usize; // 4..=63
+        let m = ((value >> (e - 3)) & 7) as usize; // 0..=7
+        16 + (e - 4) * 8 + m
+    }
+}
+
+/// Inclusive `(low, high)` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index < 16 {
+        (index as u64, index as u64)
+    } else {
+        let g = index - 16;
+        let e = g / 8 + 4;
+        let m = (g % 8) as u64;
+        let width = 1u64 << (e - 3);
+        let low = (8 + m) << (e - 3);
+        let high = low.saturating_add(width - 1);
+        (low, high)
+    }
+}
+
+/// Concurrent histogram. All recording is relaxed atomics; snapshots are
+/// taken without stopping writers (per-field consistency only).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of all buckets and summary fields.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Zero every bucket and summary field.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wraps on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts, indexed by [`bucket_index`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate of the `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket where the cumulative count crosses `q·count`, clamped to
+    /// the observed max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_tile_the_u64_line() {
+        let mut expected_low = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(
+                lo,
+                expected_low,
+                "bucket {i} must start after bucket {}",
+                i.wrapping_sub(1)
+            );
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1);
+                return;
+            }
+            expected_low = hi + 1;
+        }
+        panic!("last bucket must reach u64::MAX");
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        let p50 = s.p50();
+        // 12.5% relative bucket error on the high side.
+        assert!((450..=600).contains(&p50), "p50 was {p50}");
+        assert!(s.p99() >= s.p95() && s.p95() >= p50);
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.mean(), s.p99()), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+}

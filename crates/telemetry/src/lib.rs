@@ -1,0 +1,293 @@
+//! # fabric-telemetry
+//!
+//! Unified observability layer for the temporal-fabric stack: hierarchical
+//! spans, log-bucketed latency histograms, named counters/gauges, and
+//! exporters (human table, JSON-lines, CSV).
+//!
+//! ## Design constraints
+//!
+//! * **Zero-cost when disabled.** Every recording entry point first loads
+//!   one relaxed [`AtomicBool`]; a disabled [`Telemetry`] takes no locks,
+//!   allocates nothing and touches no shared state on the data path.
+//! * **Global-free.** There is no process-wide registry; a [`Telemetry`]
+//!   handle is plumbed explicitly (the ledger owns one and shares it with
+//!   its stores) and is cheap to clone (`Arc` inside).
+//! * **Thread-safe recorders.** Finished spans go into a lock-free
+//!   [`crossbeam`] queue; counters and histogram buckets are relaxed
+//!   atomics; the name→instrument maps use short [`parking_lot`] critical
+//!   sections only on first registration.
+//!
+//! ## Span model
+//!
+//! [`Telemetry::span`] returns a [`SpanGuard`] that records its duration
+//! on drop. Parent/child links come from a thread-local "current span"
+//! cell: spans opened while another guard is alive on the same thread
+//! become its children, which is what turns a query into a tree —
+//! `query → ghfk(key) → block.deserialize(n)`. Guards may be stored in
+//! structs (e.g. a lazy history iterator) so that work performed while
+//! the guard lives nests under it. Every span's duration also feeds a
+//! histogram named after the span, so p50/p95/p99 per stage come for free.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use export::{render_table, Report};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use span::{build_tree, render_tree, SpanGuard, SpanNode, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::queue::SegQueue;
+
+pub(crate) struct Inner {
+    enabled: AtomicBool,
+    /// Reference instant for span timestamps (relative ns).
+    epoch: Instant,
+    next_span: AtomicU64,
+    spans: SegQueue<SpanRecord>,
+    registry: Registry,
+}
+
+/// A shared telemetry handle. Cheap to clone; all clones observe the same
+/// recorders and the same enabled flag, so enabling telemetry on the
+/// ledger's handle enables it inside its stores too.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    fn with_enabled(enabled: bool) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(enabled),
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                spans: SegQueue::new(),
+                registry: Registry::new(),
+            }),
+        }
+    }
+
+    /// A handle that records nothing until [`Telemetry::enable`] is called.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// A handle that records immediately.
+    pub fn enabled() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on (affects every clone of this handle).
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn recording off.
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// The named-instrument registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Nanoseconds since this handle was created.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.inner.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn inner_ptr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    pub(crate) fn push_span(&self, record: SpanRecord) {
+        // Feed the per-stage latency histogram before queueing the record.
+        self.inner
+            .registry
+            .histogram(record.name)
+            .record(record.dur_ns);
+        self.inner.spans.push(record);
+    }
+
+    /// Open a span named `name`. Returns an inert guard when disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard::inert();
+        }
+        SpanGuard::start(self.clone(), name)
+    }
+
+    /// Add `n` to the named counter (no-op when disabled).
+    #[inline]
+    pub fn count(&self, name: &'static str, n: u64) {
+        if self.is_enabled() {
+            self.inner.registry.counter(name).add(n);
+        }
+    }
+
+    /// Record `value` into the named histogram (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if self.is_enabled() {
+            self.inner.registry.histogram(name).record(value);
+        }
+    }
+
+    /// Remove and return every finished span recorded so far, ordered by
+    /// start time.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        while let Some(r) = self.inner.spans.pop() {
+            out.push(r);
+        }
+        out.sort_by_key(|r| r.start_ns);
+        out
+    }
+
+    /// Drain finished spans and assemble them into parent→child trees.
+    pub fn span_tree(&self) -> Vec<SpanNode> {
+        build_tree(self.drain_spans())
+    }
+
+    /// Point-in-time copy of every named instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Drop all recorded spans and reset every counter/gauge/histogram.
+    /// The enabled flag is left unchanged.
+    pub fn reset(&self) {
+        while self.inner.spans.pop().is_some() {}
+        self.inner.registry.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let tel = Telemetry::disabled();
+        {
+            let mut s = tel.span("work");
+            s.record("blocks", 3);
+        }
+        tel.count("ops", 5);
+        tel.observe("lat", 100);
+        assert!(tel.drain_spans().is_empty());
+        let snap = tel.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_by_thread() {
+        let tel = Telemetry::enabled();
+        {
+            let _q = tel.span("query");
+            {
+                let _g = tel.span("ghfk");
+                let _b = tel.span("block.deserialize");
+            }
+            let _g2 = tel.span("ghfk");
+        }
+        let tree = tel.span_tree();
+        assert_eq!(tree.len(), 1, "one root");
+        let query = &tree[0];
+        assert_eq!(query.record.name, "query");
+        assert_eq!(query.children.len(), 2);
+        assert_eq!(query.children[0].record.name, "ghfk");
+        assert_eq!(query.children[0].children.len(), 1);
+        assert_eq!(
+            query.children[0].children[0].record.name,
+            "block.deserialize"
+        );
+        assert_eq!(query.depth(), 3);
+    }
+
+    #[test]
+    fn span_metrics_and_labels_survive() {
+        let tel = Telemetry::enabled();
+        {
+            let mut s = tel.span("ghfk").with_label("S00001");
+            s.record("blocks", 2);
+            s.record("blocks", 1);
+        }
+        let spans = tel.drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label.as_deref(), Some("S00001"));
+        assert_eq!(spans[0].metric("blocks"), Some(3));
+    }
+
+    #[test]
+    fn enable_disable_is_shared_across_clones() {
+        let a = Telemetry::disabled();
+        let b = a.clone();
+        b.enable();
+        assert!(a.is_enabled());
+        {
+            let _s = a.span("x");
+        }
+        assert_eq!(b.drain_spans().len(), 1);
+    }
+
+    #[test]
+    fn span_durations_feed_histograms() {
+        let tel = Telemetry::enabled();
+        for _ in 0..4 {
+            let _s = tel.span("stage");
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.histograms["stage"].count, 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let tel = Telemetry::enabled();
+        tel.count("c", 1);
+        {
+            let _s = tel.span("s");
+        }
+        tel.reset();
+        assert!(tel.drain_spans().is_empty());
+        assert!(tel.snapshot().counters.is_empty());
+        assert!(tel.is_enabled(), "reset must not flip the enabled bit");
+    }
+}

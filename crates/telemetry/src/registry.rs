@@ -1,0 +1,200 @@
+//! Named instruments: counters, gauges, histograms.
+//!
+//! The registry is global-free — every [`crate::Telemetry`] owns one.
+//! Instrument handles are `Arc`s handed out on first use; the name→handle
+//! map takes a short `parking_lot` lock only on lookup/registration, and
+//! callers on hot paths should cache the returned handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Monotone counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (e.g. memtable bytes, queue depth).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Name → instrument maps. Names are static strings so the data path
+/// never allocates; ordering in snapshots is lexicographic (BTreeMap).
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(
+    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
+    name: &'static str,
+) -> Arc<T> {
+    if let Some(found) = map.read().get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(map.write().entry(name).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// The named histogram, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Remove every instrument (existing handles keep working but are no
+    /// longer reachable by name and vanish from future snapshots).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// Immutable copy of a [`Registry`], sorted by instrument name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value by name, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_instrument() {
+        let r = Registry::new();
+        r.counter("x").add(2);
+        r.counter("x").add(3);
+        assert_eq!(r.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(10);
+        g.add(-4);
+        assert_eq!(r.snapshot().gauges["depth"], 6);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_detached() {
+        let r = Registry::new();
+        r.counter("b").incr();
+        r.counter("a").incr();
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.counters.keys().cloned().collect();
+        assert_eq!(names, ["a", "b"]);
+        r.counter("a").add(100);
+        assert_eq!(snap.counter("a"), 1, "snapshot must not track live values");
+    }
+
+    #[test]
+    fn reset_empties_future_snapshots() {
+        let r = Registry::new();
+        let held = r.counter("kept");
+        held.incr();
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+        held.incr(); // must not panic; handle stays valid
+    }
+}

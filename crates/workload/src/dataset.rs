@@ -113,8 +113,20 @@ mod tests {
         let p2 = params(DatasetId::Ds2);
         assert_eq!(p2.distribution, EventDistribution::Zipf);
         assert_eq!(
-            (p1.shipments, p1.containers, p1.trucks, p1.events_per_key, p1.t_max),
-            (p2.shipments, p2.containers, p2.trucks, p2.events_per_key, p2.t_max)
+            (
+                p1.shipments,
+                p1.containers,
+                p1.trucks,
+                p1.events_per_key,
+                p1.t_max
+            ),
+            (
+                p2.shipments,
+                p2.containers,
+                p2.trucks,
+                p2.events_per_key,
+                p2.t_max
+            )
         );
     }
 

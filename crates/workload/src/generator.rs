@@ -77,8 +77,7 @@ impl GeneratedWorkload {
         assert!(params.t_max >= 2, "t_max too small");
         assert!(params.shipments > 0 && params.containers > 0 && params.trucks > 0);
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut events =
-            Vec::with_capacity(params.total_events() as usize);
+        let mut events = Vec::with_capacity(params.total_events() as usize);
         // Shipments load into containers; containers load onto trucks.
         for s in 0..params.shipments {
             let subject = EntityId::shipment(s);
@@ -273,11 +272,7 @@ mod tests {
         let mut p = small_params(EventDistribution::Zipf);
         p.events_per_key = 400;
         let w = GeneratedWorkload::generate(p);
-        let first_decile = w
-            .events
-            .iter()
-            .filter(|e| e.time <= p.t_max / 10)
-            .count() as f64
+        let first_decile = w.events.iter().filter(|e| e.time <= p.t_max / 10).count() as f64
             / w.events.len() as f64;
         // Average over α∈U(0,1): substantially more than uniform's 10%.
         assert!(first_decile > 0.2, "first_decile={first_decile}");

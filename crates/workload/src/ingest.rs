@@ -160,10 +160,30 @@ mod tests {
         let s = EntityId::shipment;
         let c = EntityId::container;
         vec![
-            Event { subject: s(0), target: c(0), time: 10, kind: EventKind::Load },
-            Event { subject: s(1), target: c(0), time: 20, kind: EventKind::Load },
-            Event { subject: s(0), target: c(0), time: 30, kind: EventKind::Unload },
-            Event { subject: s(2), target: c(1), time: 40, kind: EventKind::Load },
+            Event {
+                subject: s(0),
+                target: c(0),
+                time: 10,
+                kind: EventKind::Load,
+            },
+            Event {
+                subject: s(1),
+                target: c(0),
+                time: 20,
+                kind: EventKind::Load,
+            },
+            Event {
+                subject: s(0),
+                target: c(0),
+                time: 30,
+                kind: EventKind::Unload,
+            },
+            Event {
+                subject: s(2),
+                target: c(1),
+                time: 40,
+                kind: EventKind::Load,
+            },
         ]
     }
 
@@ -171,7 +191,13 @@ mod tests {
     fn se_makes_one_tx_per_event() {
         let dir = TempDir::new("se");
         let ledger = Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
-        let report = ingest(&ledger, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let report = ingest(
+            &ledger,
+            &events(),
+            IngestMode::SingleEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         assert_eq!(report.events, 4);
         assert_eq!(report.txs, 4);
         assert!(report.blocks >= 1);
@@ -193,7 +219,11 @@ mod tests {
         assert_eq!(report.txs, 2);
         assert_eq!(report.events, 4);
         // No event lost.
-        for (key, expect) in [(EntityId::shipment(0), 2usize), (EntityId::shipment(1), 1), (EntityId::shipment(2), 1)] {
+        for (key, expect) in [
+            (EntityId::shipment(0), 2usize),
+            (EntityId::shipment(1), 1),
+            (EntityId::shipment(2), 1),
+        ] {
             let h = ledger
                 .get_history_for_key(&key.key())
                 .unwrap()
@@ -227,7 +257,13 @@ mod tests {
     fn event_timestamps_preserved_in_history_values() {
         let dir = TempDir::new("stamps");
         let ledger = Ledger::open(&dir.0, LedgerConfig::small_for_tests()).unwrap();
-        ingest(&ledger, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &ledger,
+            &events(),
+            IngestMode::SingleEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         let h = ledger
             .get_history_for_key(&EntityId::shipment(0).key())
             .unwrap()

@@ -190,10 +190,16 @@ mod tests {
     #[test]
     fn malformed_lines_report_position() {
         let cases = [
-            ("subject,target,time,kind\nXXXXXX,C00002,100,l", "bad subject"),
+            (
+                "subject,target,time,kind\nXXXXXX,C00002,100,l",
+                "bad subject",
+            ),
             ("subject,target,time,kind\nS00001,C00002,abc,l", "bad time"),
             ("subject,target,time,kind\nS00001,C00002,100,x", "bad kind"),
-            ("subject,target,time,kind\nS00001,C00002,100,l,extra", "trailing"),
+            (
+                "subject,target,time,kind\nS00001,C00002,100,l,extra",
+                "trailing",
+            ),
         ];
         for (text, what) in cases {
             match read_trace(text.as_bytes()) {

@@ -30,7 +30,12 @@ fn main() -> fabric_ledger::Result<()> {
 
     let workload = generate_scaled(DatasetId::Ds1, 300);
     let t_max = workload.params.t_max;
-    ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder)?;
+    ingest(
+        &ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )?;
     let strategy = FixedLength { u: t_max / 50 };
     M1Indexer::fixed(&strategy).run_epoch(&ledger, &workload.keys(), Interval::new(0, t_max))?;
 

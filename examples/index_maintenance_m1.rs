@@ -86,7 +86,12 @@ fn main() -> fabric_ledger::Result<()> {
     // Future-work strategy: balanced intervals adapt to the zipf skew —
     // hot early ranges get finer intervals, sparse late ranges coarser.
     let ledger_bal = Ledger::open(root.join("balanced"), LedgerConfig::default())?;
-    ingest(&ledger_bal, &workload.events, IngestMode::MultiEvent, &IdentityEncoder)?;
+    ingest(
+        &ledger_bal,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )?;
     let balanced = EventCountBalanced {
         target_events: workload.params.events_per_key as usize / 30,
     };

@@ -34,7 +34,12 @@ fn main() -> fabric_ledger::Result<()> {
 
     // --- Baseline (TQF): plain ingestion, naive history scans. -----------
     let base = Ledger::open(root.join("base"), LedgerConfig::default())?;
-    let report = ingest(&base, &workload.events, IngestMode::MultiEvent, &IdentityEncoder)?;
+    let report = ingest(
+        &base,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )?;
     println!(
         "ingested base data: {} events in {} txs / {} blocks",
         report.events, report.txs, report.blocks
@@ -68,7 +73,12 @@ fn main() -> fabric_ledger::Result<()> {
 
     // --- Model M2: interval-tagged keys, no separate indexing phase. ------
     let m2_ledger = Ledger::open(root.join("m2"), LedgerConfig::default())?;
-    ingest(&m2_ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u })?;
+    ingest(
+        &m2_ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &M2Encoder { u },
+    )?;
     let m2_engine = M2Engine { u };
     let m2 = ferry_query(&m2_engine, &m2_ledger, tau)?;
     println!(
@@ -83,7 +93,10 @@ fn main() -> fabric_ledger::Result<()> {
     // All three engines answer identically.
     assert_eq!(tqf.records, m1.records);
     assert_eq!(tqf.records, m2.records);
-    println!("\nall three engines agree on {} records ✓", tqf.records.len());
+    println!(
+        "\nall three engines agree on {} records ✓",
+        tqf.records.len()
+    );
 
     if let Some(first) = tqf.records.first() {
         println!(

@@ -93,7 +93,10 @@ fn main() -> fabric_ledger::Result<()> {
         .filter_map(|s| s.value.as_ref())
         .map(|v| Event::decode_value(sample, v).expect("event payload").time)
         .collect();
-    assert!(times.windows(2).all(|w| w[0] <= w[1]), "history out of order");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "history out of order"
+    );
     assert_eq!(
         times.len(),
         workload.events_for(sample).len(),

@@ -70,7 +70,11 @@ fn main() -> fabric_ledger::Result<()> {
 
     // Tamper-evidence first: audit the hash chain before trusting history.
     let tip = ledger.verify_chain()?;
-    println!("chain verified through {} blocks, tip {}", ledger.height(), tip.short());
+    println!(
+        "chain verified through {} blocks, tip {}",
+        ledger.height(),
+        tip.short()
+    );
 
     // Index the audited window so repeated investigations stay cheap.
     let strategy = FixedLength { u: 200 };
@@ -108,7 +112,10 @@ fn main() -> fabric_ledger::Result<()> {
     let all = temporal_join(&shipment_stays, &container_stays);
     println!("\nco-location report:");
     for r in &all {
-        println!("  shipment {} on truck {} during {}", r.shipment, r.truck, r.span);
+        println!(
+            "  shipment {} on truck {} during {}",
+            r.shipment, r.truck, r.span
+        );
     }
     let damaged_on_blue = all
         .iter()

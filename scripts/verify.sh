@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local verification: build, tests, lints, formatting.
+#
+# Usage: scripts/verify.sh [--offline]
+#   --offline   pass --offline to every cargo invocation (air-gapped builds)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${1:-}" == "--offline" ]]; then
+    OFFLINE=(--offline)
+fi
+
+echo "==> cargo build --workspace --release"
+cargo build "${OFFLINE[@]}" --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test "${OFFLINE[@]}" --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all checks passed"

@@ -104,7 +104,9 @@ fn boundary_timestamps_are_half_open() {
     ingest(&m2, &events, IngestMode::SingleEvent, &M2Encoder { u: 100 }).unwrap();
 
     let tau = Interval::new(100, 200); // excludes 100, includes 200
-    let tqf = TqfEngine.events_for_key(&base, EntityId::shipment(0), tau).unwrap();
+    let tqf = TqfEngine
+        .events_for_key(&base, EntityId::shipment(0), tau)
+        .unwrap();
     let m1 = M1Engine::default()
         .events_for_key(&base, EntityId::shipment(0), tau)
         .unwrap();
@@ -124,7 +126,13 @@ fn m1_list_keys_ignores_index_artifacts() {
     let dir = TempDir::new("listkeys");
     let workload = generate_scaled(DatasetId::Ds3, 100);
     let ledger = Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-    ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let before_ships = M1Engine::default()
         .list_keys(&ledger, EntityKind::Shipment)
         .unwrap();
@@ -132,7 +140,11 @@ fn m1_list_keys_ignores_index_artifacts() {
         u: workload.params.t_max / 10,
     };
     M1Indexer::fixed(&strategy)
-        .run_epoch(&ledger, &workload.keys(), Interval::new(0, workload.params.t_max))
+        .run_epoch(
+            &ledger,
+            &workload.keys(),
+            Interval::new(0, workload.params.t_max),
+        )
         .unwrap();
     let after_ships = M1Engine::default()
         .list_keys(&ledger, EntityKind::Shipment)
@@ -165,14 +177,20 @@ fn engines_handle_key_with_no_events_in_window() {
         .unwrap();
     // Window entirely before the event.
     let early = Interval::new(0, 1000);
-    assert!(TqfEngine.events_for_key(&base, EntityId::shipment(0), early).unwrap().is_empty());
+    assert!(TqfEngine
+        .events_for_key(&base, EntityId::shipment(0), early)
+        .unwrap()
+        .is_empty());
     assert!(M1Engine::default()
         .events_for_key(&base, EntityId::shipment(0), early)
         .unwrap()
         .is_empty());
     // Window entirely after.
     let late = Interval::new(9000, 10_000);
-    assert!(TqfEngine.events_for_key(&base, EntityId::shipment(0), late).unwrap().is_empty());
+    assert!(TqfEngine
+        .events_for_key(&base, EntityId::shipment(0), late)
+        .unwrap()
+        .is_empty());
     assert!(M1Engine::default()
         .events_for_key(&base, EntityId::shipment(0), late)
         .unwrap()
@@ -213,8 +231,20 @@ fn m2_base_key_space_isolated_from_base_layout() {
         time: 150,
         kind: EventKind::Load,
     };
-    ingest(&ledger, &[ev_base], IngestMode::SingleEvent, &IdentityEncoder).unwrap();
-    ingest(&ledger, &[ev_m2], IngestMode::SingleEvent, &M2Encoder { u: 100 }).unwrap();
+    ingest(
+        &ledger,
+        &[ev_base],
+        IngestMode::SingleEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
+    ingest(
+        &ledger,
+        &[ev_m2],
+        IngestMode::SingleEvent,
+        &M2Encoder { u: 100 },
+    )
+    .unwrap();
     // TQF over the base key sees only the base event.
     let tqf = TqfEngine
         .events_for_key(&ledger, key, Interval::new(0, 200))

@@ -79,11 +79,11 @@ fn assert_equivalent(
 
 fn windows(t_max: u64) -> Vec<Interval> {
     vec![
-        Interval::new(0, t_max / 10),                  // leftmost
-        Interval::new(t_max / 3, t_max / 2),           // middle, unaligned
-        Interval::new(t_max - t_max / 10, t_max),      // rightmost
-        Interval::new(0, t_max),                       // everything
-        Interval::new(t_max / 7 + 1, t_max / 7 + 13),  // tiny, odd offsets
+        Interval::new(0, t_max / 10),                 // leftmost
+        Interval::new(t_max / 3, t_max / 2),          // middle, unaligned
+        Interval::new(t_max - t_max / 10, t_max),     // rightmost
+        Interval::new(0, t_max),                      // everything
+        Interval::new(t_max / 7 + 1, t_max / 7 + 13), // tiny, odd offsets
     ]
 }
 
@@ -91,21 +91,39 @@ fn windows(t_max: u64) -> Vec<Interval> {
 fn ds3_uniform_se_equivalence() {
     let workload = generate_scaled(DatasetId::Ds3, 40);
     let t_max = workload.params.t_max;
-    assert_equivalent("ds3-se", &workload, IngestMode::SingleEvent, t_max / 25, &windows(t_max));
+    assert_equivalent(
+        "ds3-se",
+        &workload,
+        IngestMode::SingleEvent,
+        t_max / 25,
+        &windows(t_max),
+    );
 }
 
 #[test]
 fn ds3_uniform_me_equivalence() {
     let workload = generate_scaled(DatasetId::Ds3, 40);
     let t_max = workload.params.t_max;
-    assert_equivalent("ds3-me", &workload, IngestMode::MultiEvent, t_max / 25, &windows(t_max));
+    assert_equivalent(
+        "ds3-me",
+        &workload,
+        IngestMode::MultiEvent,
+        t_max / 25,
+        &windows(t_max),
+    );
 }
 
 #[test]
 fn ds2_zipf_me_equivalence() {
     let workload = generate_scaled(DatasetId::Ds2, 300);
     let t_max = workload.params.t_max;
-    assert_equivalent("ds2-me", &workload, IngestMode::MultiEvent, t_max / 25, &windows(t_max));
+    assert_equivalent(
+        "ds2-me",
+        &workload,
+        IngestMode::MultiEvent,
+        t_max / 25,
+        &windows(t_max),
+    );
 }
 
 #[test]
@@ -159,7 +177,13 @@ fn periodic_m1_equals_oneshot_m1() {
 
     let build = |sub: &str, epochs: u64| -> Ledger {
         let ledger = Ledger::open(dir.0.join(sub), LedgerConfig::default()).unwrap();
-        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         let strategy = FixedLength { u };
         let indexer = M1Indexer::fixed(&strategy);
         for e in 1..=epochs {
@@ -178,6 +202,9 @@ fn periodic_m1_equals_oneshot_m1() {
     for tau in windows(t_max) {
         let a = ferry_query(&M1Engine::default(), &oneshot, tau).unwrap();
         let b = ferry_query(&M1Engine::default(), &periodic, tau).unwrap();
-        assert_eq!(a.records, b.records, "epoch count must not affect answers ({tau})");
+        assert_eq!(
+            a.records, b.records,
+            "epoch count must not affect answers ({tau})"
+        );
     }
 }

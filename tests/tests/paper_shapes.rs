@@ -54,13 +54,25 @@ fn tqf_cost_grows_rightward_m1_flat_m2_flat() {
     let dir = TempDir::new("sweep");
 
     let base = Ledger::open(dir.0.join("base"), LedgerConfig::default()).unwrap();
-    ingest(&base, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &base,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let strategy = FixedLength { u };
     M1Indexer::fixed(&strategy)
         .run_epoch(&base, &workload.keys(), Interval::new(0, t_max))
         .unwrap();
     let m2_ledger = Ledger::open(dir.0.join("m2"), LedgerConfig::default()).unwrap();
-    ingest(&m2_ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u }).unwrap();
+    ingest(
+        &m2_ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &M2Encoder { u },
+    )
+    .unwrap();
 
     let mut tqf_blocks = Vec::new();
     let mut m1_blocks = Vec::new();
@@ -130,7 +142,13 @@ fn m1_ghfk_calls_match_arithmetic() {
     let u = t_max / 75;
     let dir = TempDir::new("calls");
     let base = Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-    ingest(&base, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &base,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let strategy = FixedLength { u };
     M1Indexer::fixed(&strategy)
         .run_epoch(&base, &workload.keys(), Interval::new(0, t_max))
@@ -149,7 +167,13 @@ fn tqf_ghfk_calls_equal_key_count() {
     let workload = ds1();
     let dir = TempDir::new("tqf-calls");
     let base = Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-    ingest(&base, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &base,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let tau = Interval::new(0, workload.params.t_max / 15);
     let outcome = ferry_query(&TqfEngine, &base, tau).unwrap();
     assert_eq!(
@@ -170,7 +194,13 @@ fn larger_u_means_fewer_m1_calls_and_blocks() {
         let u = t_max / divisor;
         let dir = TempDir::new(&format!("table2-{divisor}"));
         let base = Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-        ingest(&base, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+        ingest(
+            &base,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
         let strategy = FixedLength { u };
         M1Indexer::fixed(&strategy)
             .run_epoch(&base, &workload.keys(), Interval::new(0, t_max))
@@ -194,9 +224,21 @@ fn zipf_m1_and_m2_costs_decrease_rightward() {
     let u = t_max / 75;
     let dir = TempDir::new("zipf");
     let base = Ledger::open(dir.0.join("base"), LedgerConfig::default()).unwrap();
-    ingest(&base, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &base,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     let m2_ledger = Ledger::open(dir.0.join("m2"), LedgerConfig::default()).unwrap();
-    ingest(&m2_ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u }).unwrap();
+    ingest(
+        &m2_ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &M2Encoder { u },
+    )
+    .unwrap();
 
     let w = t_max / 15;
     let early = Interval::new(w, 2 * w);
@@ -229,7 +271,13 @@ fn m2_state_db_grows_with_interval_count() {
         let u = t_max / divisor;
         let sub = dir.0.join(format!("u{i}"));
         let ledger = Ledger::open(&sub, LedgerConfig::default()).unwrap();
-        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u }).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &M2Encoder { u },
+        )
+        .unwrap();
         counts.push(ledger.state_db().key_count().unwrap());
     }
     assert!(
@@ -297,7 +345,13 @@ fn get_state_base_probe_count_drops_with_u() {
     for (i, divisor) in [75u64, 15, 3].iter().enumerate() {
         let u = t_max / divisor;
         let ledger = Ledger::open(dir.0.join(format!("u{i}")), LedgerConfig::default()).unwrap();
-        ingest(&ledger, &workload.events, IngestMode::MultiEvent, &M2Encoder { u }).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &M2Encoder { u },
+        )
+        .unwrap();
         let api = M2BaseApi::new(u, now);
         let mut probes = 0;
         for &key in &keys {

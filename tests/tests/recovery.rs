@@ -30,7 +30,13 @@ impl Drop for TempDir {
 fn build(dir: &std::path::Path) -> (Ledger, fabric_workload::GeneratedWorkload) {
     let workload = generate_scaled(DatasetId::Ds3, 60);
     let ledger = Ledger::open(dir, LedgerConfig::default()).unwrap();
-    ingest(&ledger, &workload.events, IngestMode::MultiEvent, &IdentityEncoder).unwrap();
+    ingest(
+        &ledger,
+        &workload.events,
+        IngestMode::MultiEvent,
+        &IdentityEncoder,
+    )
+    .unwrap();
     (ledger, workload)
 }
 
@@ -75,7 +81,11 @@ fn indexes_rebuilt_after_index_db_loss() {
     std::fs::remove_dir_all(dir.0.join("index")).unwrap();
     std::fs::remove_dir_all(dir.0.join("state")).unwrap();
     let ledger = Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
-    assert_eq!(ledger.height(), want_height, "height rebuilt from block files");
+    assert_eq!(
+        ledger.height(),
+        want_height,
+        "height rebuilt from block files"
+    );
     ledger.verify_chain().unwrap();
     let got = ferry_query(&TqfEngine, &ledger, Interval::new(0, t_max))
         .unwrap()
@@ -203,7 +213,9 @@ fn backup_is_openable_and_independent() {
     // Mutate the original after the backup.
     let mut sim = fabric_ledger::TxSimulator::new(&ledger);
     sim.put_state(&b"post-backup"[..], &b"x"[..]);
-    ledger.submit(sim.into_transaction(t_max + 1).unwrap()).unwrap();
+    ledger
+        .submit(sim.into_transaction(t_max + 1).unwrap())
+        .unwrap();
     ledger.cut_block().unwrap();
     // The backup opens, verifies, answers identically, and lacks the
     // post-backup write.
