@@ -239,12 +239,25 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         })
     });
     tel.enable();
+    // "enabled" includes the always-on flight recorder: every finished span
+    // is cloned into the ring. The budget vs disabled is ≤5%.
     g.bench_function("enabled", |b| {
         b.iter(|| {
             i = (i + 1) % 10_000;
             store.get(format!("key{i:06}").as_bytes()).unwrap()
         })
     });
+    // Slow-log detection on top (threshold high enough that nothing fires,
+    // so this measures the per-root check, not sink I/O).
+    let (_buffer, sink) = fabric_telemetry::slowlog::memory_sink();
+    tel.install_slow_log(fabric_telemetry::SlowLogConfig::threshold_ms(10_000), sink);
+    g.bench_function("enabled+slowlog", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            store.get(format!("key{i:06}").as_bytes()).unwrap()
+        })
+    });
+    tel.remove_slow_log();
     tel.disable();
     g.finish();
 

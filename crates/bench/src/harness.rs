@@ -30,6 +30,9 @@ pub struct Ctx {
     /// Emit per-run telemetry JSON-lines alongside the usual CSV results
     /// (`--telemetry` / `TF_TELEMETRY=1`).
     pub telemetry: bool,
+    /// Write a machine-readable [`crate::regress::BenchFile`] of per-engine
+    /// medians to this path (`--json-out path` / `TF_JSON_OUT=path`).
+    pub json_out: Option<PathBuf>,
 }
 
 impl Ctx {
@@ -49,6 +52,17 @@ impl Ctx {
         }
         let telemetry = args.iter().any(|a| a == "--telemetry")
             || std::env::var("TF_TELEMETRY").is_ok_and(|v| !v.is_empty() && v != "0");
+        let json_out = args
+            .iter()
+            .position(|a| a == "--json-out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .or_else(|| {
+                std::env::var("TF_JSON_OUT")
+                    .ok()
+                    .filter(|v| !v.is_empty())
+                    .map(PathBuf::from)
+            });
         let data_root = std::env::var("TF_DATA_ROOT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| {
@@ -59,6 +73,28 @@ impl Ctx {
             data_root,
             sim: SimCostModel::default(),
             telemetry,
+            json_out,
+        }
+    }
+
+    /// Machine metadata at this context's scale (for `BENCH_*.json` files).
+    pub fn machine(&self) -> crate::regress::MachineInfo {
+        crate::regress::MachineInfo::capture(self.scale as u64)
+    }
+
+    /// Write a bench file to the `--json-out` path, if one was given.
+    pub fn save_bench_file(&self, file: &crate::regress::BenchFile) {
+        let Some(path) = &self.json_out else { return };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, file.to_json()) {
+            Ok(()) => eprintln!(
+                "[bench] wrote {} metric(s) to {}",
+                file.metrics.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not save {}: {e}", path.display()),
         }
     }
 

@@ -13,6 +13,8 @@
 #![deny(unsafe_code)]
 
 pub mod harness;
+pub mod regress;
 pub mod tables;
 
 pub use harness::{Ctx, TableOut};
+pub use regress::{diff, BenchFile, DiffConfig, DiffReport, MachineInfo, MetricKind};

@@ -15,6 +15,7 @@ use temporal_core::tqf::TqfEngine;
 use temporal_core::TemporalEngine;
 
 use crate::harness::{fmt_secs, with_telemetry, Ctx, TableOut};
+use crate::regress::{bench_file_from_samples, MetricKind};
 
 struct Cell {
     join_wall: std::time::Duration,
@@ -99,6 +100,33 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "records",
     ]);
     let mut jsonl = String::new();
+    // Raw samples for the machine-readable bench file: one entry per
+    // (dataset/mode/engine/metric) per window, reduced to medians at the end.
+    let mut samples: Vec<(String, MetricKind, f64)> = Vec::new();
+    let mut sample = |id: DatasetId, mode: IngestMode, engine: &str, cell: &Cell| {
+        let prefix = format!("{id}/{mode}/{engine}").to_lowercase();
+        samples.push((
+            format!("{prefix}/join_s"),
+            MetricKind::Time,
+            cell.join_wall.as_secs_f64(),
+        ));
+        samples.push((
+            format!("{prefix}/ghfk_s"),
+            MetricKind::Time,
+            cell.ghfk_wall.as_secs_f64(),
+        ));
+        samples.push((
+            format!("{prefix}/ghfk_calls"),
+            MetricKind::Counter,
+            cell.ghfk_calls as f64,
+        ));
+        samples.push((
+            format!("{prefix}/blocks"),
+            MetricKind::Counter,
+            cell.blocks as f64,
+        ));
+        samples.push((format!("{prefix}/sim_s"), MetricKind::Time, cell.sim_secs));
+    };
 
     for (id, mode, m2_us) in [
         (
@@ -157,6 +185,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                 jsonl.push_str(&telemetry_line(snap, id, mode, "M1", tau, &m1));
                 jsonl.push('\n');
             }
+            sample(id, mode, "m1", &m1);
             push_cell(&m1, &mut row);
             record_counts.push(m1.records);
             csv.row(vec![
@@ -179,6 +208,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                 jsonl.push_str(&telemetry_line(snap, id, mode, "TQF", tau, &tqf));
                 jsonl.push('\n');
             }
+            sample(id, mode, "tqf", &tqf);
             push_cell(&tqf, &mut row);
             record_counts.push(tqf.records);
             csv.row(vec![
@@ -209,6 +239,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                     ));
                     jsonl.push('\n');
                 }
+                sample(id, mode, &format!("m2-u{u_paper}"), &m2);
                 push_cell(&m2, &mut row);
                 record_counts.push(m2.records);
                 csv.row(vec![
@@ -238,6 +269,9 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         report.push('\n');
     }
     ctx.save_result("table1.csv", &csv.to_csv());
+    if ctx.json_out.is_some() {
+        ctx.save_bench_file(&bench_file_from_samples("table1", ctx.machine(), &samples));
+    }
     if ctx.telemetry {
         ctx.save_result("BENCH_table1.jsonl", &jsonl);
         report.push_str(&format!(

@@ -32,7 +32,9 @@ const USAGE: &str = "usage: tfq <command> ...
   index   <dir> --u U [--from T1] [--to T2]
   backup  <dir> <dest-dir>
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
-  replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]";
+  replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]
+  serve   <dir> [--addr H:P] [--slow-ms N] [--slow-factor F] [--slow-log PATH]
+  bench-diff <baseline.json> <current.json> [--time-tol F] [--counter-tol F]";
 
 fn led(e: fabric_ledger::Error) -> String {
     e.to_string()
@@ -62,6 +64,8 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("backup") => backup(&args),
         Some("export-trace") => export_trace(&args),
         Some("replay") => replay(&args),
+        Some("serve") => crate::serve::serve(&args),
+        Some("bench-diff") => crate::serve::bench_diff(&args),
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }

@@ -169,7 +169,12 @@ pub fn ferry_query(
     tau: Interval,
 ) -> Result<JoinOutcome> {
     let tel = ledger.telemetry();
-    let mut query_span = tel.span("query.ferry").with_label(engine.name());
+    let mut query_span = tel.span("query.ferry").with_label(format!(
+        "{} tau=({},{}]",
+        engine.name(),
+        tau.start,
+        tau.end
+    ));
     let mut events_scanned = 0usize;
     let mut retrieval_wall = std::time::Duration::ZERO;
     let (records, stats) = measure(ledger, || -> Result<Vec<FerryRecord>> {
@@ -208,6 +213,7 @@ pub fn ferry_query(
     query_span.record("records", records.len() as u64);
     query_span.record("events_scanned", events_scanned as u64);
     query_span.record("blocks", stats.blocks_deserialized());
+    query_span.record("retrieval_ns", retrieval_wall.as_nanos() as u64);
     Ok(JoinOutcome {
         records,
         events_scanned,

@@ -70,6 +70,15 @@ pub fn ferry_query_parallel(
     tau: Interval,
     workers: usize,
 ) -> Result<JoinOutcome> {
+    let mut query_span = ledger
+        .telemetry()
+        .span("query.ferry.parallel")
+        .with_label(format!(
+            "{} tau=({},{}] workers={workers}",
+            engine.name(),
+            tau.start,
+            tau.end
+        ));
     let mut events_scanned = 0usize;
     let mut retrieval_wall = std::time::Duration::ZERO;
     let (records, stats) = measure(ledger, || -> Result<_> {
@@ -91,6 +100,10 @@ pub fn ferry_query_parallel(
         }
         Ok(temporal_join(&shipment_stays, &container_stays))
     })?;
+    query_span.record("records", records.len() as u64);
+    query_span.record("events_scanned", events_scanned as u64);
+    query_span.record("blocks", stats.blocks_deserialized());
+    query_span.record("workers", workers as u64);
     Ok(JoinOutcome {
         records,
         events_scanned,

@@ -60,4 +60,4 @@ pub use error::{Error, Result};
 pub use memtable::Slot;
 pub use metrics::MetricsSnapshot;
 pub use options::Options;
-pub use store::{prefix_end, KvStore, RangeIter};
+pub use store::{prefix_end, KvStore, RangeIter, StorageStats};

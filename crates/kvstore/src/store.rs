@@ -468,6 +468,19 @@ impl KvStore {
         self.inner.read().tables.len()
     }
 
+    /// Point-in-time occupancy numbers for live-metrics surfaces
+    /// (`/metrics` gauges): SSTable count, bytes appended to the current
+    /// WAL, and memtable entries/bytes. One shared read lock, no I/O.
+    pub fn storage_stats(&self) -> StorageStats {
+        let inner = self.inner.read();
+        StorageStats {
+            sstables: inner.tables.len() as u64,
+            wal_bytes: inner.wal.bytes_written(),
+            memtable_entries: inner.memtable.len() as u64,
+            memtable_bytes: inner.memtable.approx_bytes() as u64,
+        }
+    }
+
     /// Snapshot of the operation counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
@@ -482,6 +495,19 @@ impl KvStore {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+}
+
+/// Point-in-time storage occupancy (see [`KvStore::storage_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Live SSTables backing the store.
+    pub sstables: u64,
+    /// Bytes appended to the current write-ahead log.
+    pub wal_bytes: u64,
+    /// Entries (values + tombstones) in the active memtable.
+    pub memtable_entries: u64,
+    /// Approximate bytes held by the active memtable.
+    pub memtable_bytes: u64,
 }
 
 /// Smallest byte string strictly greater than every string with `prefix`.
@@ -616,6 +642,23 @@ mod tests {
         let db = open(&dir);
         assert_eq!(db.get(b"key0123").unwrap().unwrap(), &b"val123"[..]);
         assert!(db.table_count() >= 1);
+    }
+
+    #[test]
+    fn storage_stats_tracks_occupancy() {
+        let dir = TempDir::new("storage-stats");
+        let db = open(&dir);
+        assert_eq!(db.storage_stats(), StorageStats::default());
+        db.put(&b"k"[..], &b"v"[..]).unwrap();
+        let s = db.storage_stats();
+        assert_eq!(s.memtable_entries, 1);
+        assert!(s.memtable_bytes > 0);
+        assert!(s.wal_bytes > 0);
+        assert_eq!(s.sstables, 0);
+        db.flush().unwrap();
+        let s = db.storage_stats();
+        assert_eq!(s.memtable_entries, 0);
+        assert_eq!(s.sstables, 1);
     }
 
     #[test]

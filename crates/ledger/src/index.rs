@@ -98,6 +98,11 @@ impl LedgerIndex {
         LedgerIndex { db }
     }
 
+    /// The underlying store (for occupancy gauges).
+    pub(crate) fn store(&self) -> &KvStore {
+        &self.db
+    }
+
     /// Record everything one committed block contributes to the indexes,
     /// atomically: its location, its history entries (valid txs only) and
     /// the new chain tip.

@@ -60,6 +60,11 @@ impl StateDb {
         StateDb { db }
     }
 
+    /// The underlying store (for occupancy gauges).
+    pub(crate) fn store(&self) -> &KvStore {
+        &self.db
+    }
+
     /// Current state of `key`, with its committing version.
     pub fn get(&self, key: &[u8]) -> Result<Option<VersionedValue>> {
         match self.db.get(key)? {

@@ -144,12 +144,47 @@ impl Report {
     }
 }
 
-fn csv_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+/// Quote a value for a CSV cell (RFC 4180): fields containing commas,
+/// quotes, or newlines are wrapped in double quotes with embedded quotes
+/// doubled; everything else passes through unchanged.
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
     }
+}
+
+/// Split one CSV line into unescaped fields — the inverse of
+/// [`csv_field`]-joined rows. Handles quoted fields with embedded commas,
+/// doubled quotes, and embedded newlines (the caller must pass a full
+/// logical record). Malformed trailing quotes are tolerated by closing
+/// the field at end of input.
+pub fn csv_parse_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+    }
+    fields.push(field);
+    fields
 }
 
 /// Render counters, gauges, and histogram quantiles as an aligned,
@@ -226,6 +261,50 @@ mod tests {
         assert!(line.contains("\"note\":\"a\\\"b\\\\c\""));
         assert!(line.contains("\"blocks_deserialized\":42"));
         assert!(line.contains("\"ghfk\":{\"count\":2"));
+    }
+
+    #[test]
+    fn csv_round_trips_hostile_names() {
+        // Instrument names with commas, quotes, and both — the CSV must
+        // quote/escape them so a parse of each line restores the exact
+        // original name and value.
+        let mut snapshot = RegistrySnapshot::default();
+        snapshot.counters.insert("blocks,deserialized".into(), 7);
+        snapshot.counters.insert("say \"ghfk\"".into(), 9);
+        snapshot.gauges.insert("a,\"b\",c".into(), -3);
+        let tel = Telemetry::enabled();
+        tel.observe("lat,ms \"hot\"", 50);
+        snapshot.histograms = tel.snapshot().histograms;
+        let csv = Report::new(snapshot).csv();
+        let rows: Vec<Vec<String>> = csv.lines().map(csv_parse_line).collect();
+        assert_eq!(rows[0][0], "kind");
+        let find = |kind: &str, name: &str| {
+            rows.iter()
+                .find(|r| r[0] == kind && r[1] == name)
+                .unwrap_or_else(|| panic!("no {kind} row for {name:?} in:\n{csv}"))
+                .clone()
+        };
+        assert_eq!(find("counter", "blocks,deserialized")[2], "7");
+        assert_eq!(find("counter", "say \"ghfk\"")[2], "9");
+        assert_eq!(find("gauge", "a,\"b\",c")[2], "-3");
+        assert_eq!(find("histogram", "lat,ms \"hot\"")[3], "1");
+        // Every row parses back to the header's arity.
+        for row in &rows {
+            assert_eq!(row.len(), rows[0].len(), "ragged row in:\n{csv}");
+        }
+    }
+
+    #[test]
+    fn csv_parse_handles_quotes_and_empties() {
+        assert_eq!(csv_parse_line("a,b,c"), ["a", "b", "c"]);
+        assert_eq!(csv_parse_line("a,,c"), ["a", "", "c"]);
+        assert_eq!(csv_parse_line("\"a,b\",c"), ["a,b", "c"]);
+        assert_eq!(
+            csv_parse_line("\"he said \"\"hi\"\"\",x"),
+            ["he said \"hi\"", "x"]
+        );
+        assert_eq!(csv_parse_line(""), [""]);
+        assert_eq!(csv_parse_line("x,"), ["x", ""]);
     }
 
     #[test]

@@ -136,7 +136,15 @@ impl HistogramSnapshot {
 
     /// Estimate of the `q`-quantile (`0.0..=1.0`): the upper bound of the
     /// bucket where the cumulative count crosses `q·count`, clamped to
-    /// the observed max. Returns 0 when empty.
+    /// the observed max.
+    ///
+    /// Edge cases are defined, not accidental: an **empty** histogram
+    /// returns 0 for every `q` (there is no meaningful quantile to
+    /// report, and exporters rely on a stable zero); a **single-sample**
+    /// histogram returns that sample's bucket clamped to the sample
+    /// itself for every `q`; bucket counts near `u64::MAX` accumulate
+    /// with saturating arithmetic, so pathological (or corrupted)
+    /// snapshots degrade to the max bucket instead of overflowing.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -144,7 +152,7 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return bucket_bounds(i).1.min(self.max);
             }
@@ -222,6 +230,47 @@ mod tests {
     fn empty_snapshot_is_zeroed() {
         let s = Histogram::new().snapshot();
         assert_eq!((s.count, s.min, s.max, s.mean(), s.p99()), (0, 0, 0, 0, 0));
+        // Every quantile of an empty histogram is 0, by contract.
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_equal_the_sample() {
+        let h = Histogram::new();
+        h.record(7);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 7, "q={q}");
+        }
+        assert_eq!((s.min, s.max, s.mean()), (7, 7, 7));
+    }
+
+    #[test]
+    fn saturating_counts_do_not_overflow_quantiles() {
+        // A snapshot with near-u64::MAX counts in several buckets: the
+        // cumulative walk must saturate instead of wrapping (which would
+        // panic in debug builds).
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[0] = u64::MAX;
+        buckets[1] = u64::MAX;
+        buckets[10] = 5;
+        let s = HistogramSnapshot {
+            count: u64::MAX,
+            sum: u64::MAX,
+            min: 0,
+            max: 10,
+            buckets,
+        };
+        assert_eq!(s.quantile(0.5), 0, "half the mass sits in bucket 0");
+        assert_eq!(
+            s.quantile(1.0),
+            0,
+            "saturated cumulative count degrades to the first heavy bucket"
+        );
+        assert!(s.p99() <= s.max);
+        assert_eq!(s.mean(), 1, "mean is sum/count, saturated inputs ok");
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! A tiny std-only HTTP listener exposing live telemetry.
+//!
+//! No HTTP dependency: the server answers the three fixed `GET` routes a
+//! scraper needs and nothing else —
+//!
+//! * `/metrics` — Prometheus text exposition of the registry (see
+//!   [`crate::prometheus`]);
+//! * `/healthz` — `200 ok` liveness probe;
+//! * `/flight`  — recent flight-recorder contents as JSON (flat span
+//!   records plus recorded/dropped totals).
+//!
+//! Requests are served sequentially on the caller's thread ([`MetricsServer::run`]
+//! blocks); a scrape is a snapshot + render, microseconds of work, so a
+//! single-threaded accept loop is plenty for Prometheus-style pull
+//! intervals. An optional *collect hook* runs before every scrape so the
+//! owner can refresh point-in-time gauges (SSTable counts, WAL bytes,
+//! cache occupancy) that are only meaningful when sampled.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::prometheus::render_prometheus;
+use crate::slowlog::span_json;
+use crate::Telemetry;
+
+/// Runs before every `/metrics` and `/flight` scrape to refresh gauges.
+pub type CollectHook = Box<dyn Fn(&Telemetry) + Send + Sync>;
+
+/// A bound-but-not-yet-running metrics server.
+pub struct MetricsServer {
+    listener: TcpListener,
+    tel: Telemetry,
+    collect: Option<CollectHook>,
+    shutdown: Arc<AtomicBool>,
+    requests_served: u64,
+    max_requests: Option<u64>,
+}
+
+/// Stops a running [`MetricsServer`] from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Ask the server to stop after the in-flight request (if any). A
+    /// wake-up connection is made so a server blocked in `accept` exits
+    /// promptly.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl MetricsServer {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        tel: Telemetry,
+        collect: Option<CollectHook>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(MetricsServer {
+            listener,
+            tel,
+            collect,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests_served: 0,
+            max_requests: None,
+        })
+    }
+
+    /// Serve at most `n` requests, then return from [`MetricsServer::run`]
+    /// (used by smoke tests and `tfq serve --requests`).
+    pub fn with_max_requests(mut self, n: u64) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the accept loop from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: self.shutdown.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept and answer requests until shut down (or until the request
+    /// budget is exhausted). Per-connection I/O errors are swallowed — a
+    /// dropped scrape must not kill a serving peer.
+    pub fn run(mut self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let _ = self.handle(stream);
+            self.requests_served += 1;
+            if let Some(max) = self.max_requests {
+                if self.requests_served >= max {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain headers so well-behaved clients see a clean close.
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+                break;
+            }
+        }
+        let mut stream = reader.into_inner();
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let path = path.split('?').next().unwrap_or(path);
+        if method != "GET" {
+            return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+        }
+        match path {
+            "/metrics" => {
+                if let Some(collect) = &self.collect {
+                    collect(&self.tel);
+                }
+                let body = render_prometheus(&self.tel.snapshot());
+                respond(
+                    &mut stream,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                )
+            }
+            "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+            "/flight" => {
+                if let Some(collect) = &self.collect {
+                    collect(&self.tel);
+                }
+                respond(&mut stream, 200, "application/json", &self.flight_json())
+            }
+            _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+        }
+    }
+
+    fn flight_json(&self) -> String {
+        use std::fmt::Write as _;
+        let flight = self.tel.flight();
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"recorded\":{},\"dropped\":{},\"spans\":[",
+            flight.recorded(),
+            flight.dropped()
+        );
+        for (i, record) in flight.recent().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_json(record));
+        }
+        out.push_str("],\"roots\":[");
+        for (i, record) in flight.recent_roots().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_json(record));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Blocking `GET` against a served route; returns `(status, body)`. Used
+/// by the integration tests and `tfq`'s own smoke checks — a std-only
+/// stand-in for curl.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_server(tel: Telemetry, max: u64) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = MetricsServer::bind("127.0.0.1:0", tel, None)
+            .unwrap()
+            .with_max_requests(max);
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn healthz_and_404_and_metrics() {
+        let tel = Telemetry::enabled();
+        tel.count("ops", 2);
+        tel.observe("lat", 9);
+        let (addr, handle) = spawn_server(tel, 3);
+        let (status, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("tf_ops 2"), "{body}");
+        assert!(body.contains("tf_lat_bucket{le=\"+Inf\"} 1"), "{body}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn flight_route_returns_recent_spans() {
+        let tel = Telemetry::enabled();
+        {
+            let _q = tel.span("query");
+            let _c = tel.span("child");
+        }
+        let (addr, handle) = spawn_server(tel, 1);
+        let (status, body) = http_get(addr, "/flight").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"recorded\":2"), "{body}");
+        assert!(body.contains("\"name\":\"query\""), "{body}");
+        assert!(body.contains("\"name\":\"child\""), "{body}");
+        assert!(body.contains("\"roots\":[{"), "{body}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn collect_hook_runs_per_scrape() {
+        let tel = Telemetry::enabled();
+        let hook: CollectHook = Box::new(|tel: &Telemetry| {
+            tel.registry().gauge("refreshed").add(1);
+        });
+        let server = MetricsServer::bind("127.0.0.1:0", tel, Some(hook))
+            .unwrap()
+            .with_max_requests(2);
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let (_, body) = http_get(addr, "/metrics").unwrap();
+        assert!(body.contains("tf_refreshed 1"), "{body}");
+        let (_, body) = http_get(addr, "/metrics").unwrap();
+        assert!(body.contains("tf_refreshed 2"), "{body}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_handle_stops_the_loop() {
+        let tel = Telemetry::enabled();
+        let server = MetricsServer::bind("127.0.0.1:0", tel, None).unwrap();
+        let shutdown = server.shutdown_handle().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        shutdown.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let tel = Telemetry::enabled();
+        let (addr, handle) = spawn_server(tel, 1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        std::io::Read::read_to_string(&mut stream, &mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        handle.join().unwrap();
+    }
+}

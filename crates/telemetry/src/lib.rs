@@ -32,13 +32,21 @@
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod flight;
 pub mod histogram;
+pub mod http;
+pub mod prometheus;
 pub mod registry;
+pub mod slowlog;
 pub mod span;
 
 pub use export::{render_table, Report};
+pub use flight::FlightRecorder;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use http::{http_get, MetricsServer};
+pub use prometheus::render_prometheus;
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use slowlog::{SlowLog, SlowLogConfig};
 pub use span::{build_tree, render_tree, SpanGuard, SpanNode, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +54,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
+use parking_lot::RwLock;
 
 pub(crate) struct Inner {
     enabled: AtomicBool,
@@ -54,6 +63,11 @@ pub(crate) struct Inner {
     next_span: AtomicU64,
     spans: SegQueue<SpanRecord>,
     registry: Registry,
+    flight: FlightRecorder,
+    /// Fast-path check for the slow log; avoids the RwLock on every root
+    /// span when no log is installed (the common case).
+    slow_installed: AtomicBool,
+    slow: RwLock<Option<Arc<SlowLog>>>,
 }
 
 /// A shared telemetry handle. Cheap to clone; all clones observe the same
@@ -87,6 +101,9 @@ impl Telemetry {
                 next_span: AtomicU64::new(1),
                 spans: SegQueue::new(),
                 registry: Registry::new(),
+                flight: FlightRecorder::default(),
+                slow_installed: AtomicBool::new(false),
+                slow: RwLock::new(None),
             }),
         }
     }
@@ -141,7 +158,53 @@ impl Telemetry {
             .registry
             .histogram(record.name)
             .record(record.dur_ns);
+        // Flight recorder first so a slow root can reassemble its subtree
+        // (children completed — and were recorded — before their parent).
+        self.inner.flight.record(&record);
+        if record.parent.is_none() && self.inner.slow_installed.load(Ordering::Relaxed) {
+            self.maybe_log_slow(&record);
+        }
         self.inner.spans.push(record);
+    }
+
+    /// Cold path: a root span finished while a slow log is installed.
+    fn maybe_log_slow(&self, record: &SpanRecord) {
+        let Some(slow) = self.inner.slow.read().clone() else {
+            return;
+        };
+        let threshold = if slow.config().p99_factor.is_some() {
+            let snapshot = self.inner.registry.histogram(record.name).snapshot();
+            slow.config().effective_threshold(Some(&snapshot))
+        } else {
+            slow.config().effective_threshold(None)
+        };
+        if record.dur_ns >= threshold.max(1) {
+            let tree = self.inner.flight.tree_for_root(record);
+            slow.log(&tree, threshold);
+        }
+    }
+
+    /// The always-on flight recorder (recent completed spans).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Install (or replace) the slow-query log. Root spans finishing
+    /// slower than the configured threshold are dumped as JSONL to `sink`.
+    pub fn install_slow_log(&self, config: SlowLogConfig, sink: Box<dyn std::io::Write + Send>) {
+        *self.inner.slow.write() = Some(Arc::new(SlowLog::new(config, sink)));
+        self.inner.slow_installed.store(true, Ordering::Relaxed);
+    }
+
+    /// Remove the slow-query log, if any.
+    pub fn remove_slow_log(&self) {
+        self.inner.slow_installed.store(false, Ordering::Relaxed);
+        *self.inner.slow.write() = None;
+    }
+
+    /// The installed slow-query log, if any.
+    pub fn slow_log(&self) -> Option<Arc<SlowLog>> {
+        self.inner.slow.read().clone()
     }
 
     /// Open a span named `name`. Returns an inert guard when disabled.
@@ -190,11 +253,13 @@ impl Telemetry {
         self.inner.registry.snapshot()
     }
 
-    /// Drop all recorded spans and reset every counter/gauge/histogram.
-    /// The enabled flag is left unchanged.
+    /// Drop all recorded spans (including the flight-recorder window) and
+    /// reset every counter/gauge/histogram. The enabled flag and any
+    /// installed slow log are left unchanged.
     pub fn reset(&self) {
         while self.inner.spans.pop().is_some() {}
         self.inner.registry.reset();
+        self.inner.flight.clear();
     }
 }
 
@@ -279,6 +344,76 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_retains_spans_and_roots() {
+        let tel = Telemetry::enabled();
+        {
+            let _q = tel.span("query");
+            let _g = tel.span("ghfk");
+        }
+        {
+            let _q = tel.span("query");
+        }
+        let recent = tel.flight().recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(tel.flight().recent_roots().len(), 2);
+        // Draining the span queue must not empty the flight window.
+        let _ = tel.drain_spans();
+        assert_eq!(tel.flight().recent().len(), 3);
+    }
+
+    #[test]
+    fn slow_log_fires_on_slow_roots_only() {
+        let tel = Telemetry::enabled();
+        let (buffer, sink) = slowlog::memory_sink();
+        tel.install_slow_log(
+            SlowLogConfig {
+                threshold_ns: 1, // everything with a measurable duration
+                p99_factor: None,
+                min_samples: 0,
+            },
+            sink,
+        );
+        {
+            let _q = tel.span("query.ferry");
+            let _g = tel.span("ghfk");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            1,
+            "only the root span may produce a record: {text}"
+        );
+        assert!(lines[0].contains("\"name\":\"query.ferry\""));
+        assert!(
+            lines[0].contains("\"name\":\"ghfk\""),
+            "tree must include the child: {}",
+            lines[0]
+        );
+        assert_eq!(tel.slow_log().unwrap().records_written(), 1);
+        tel.remove_slow_log();
+        {
+            let _q = tel.span("query.ferry");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "removed log must stay silent");
+    }
+
+    #[test]
+    fn fast_roots_stay_out_of_the_slow_log() {
+        let tel = Telemetry::enabled();
+        let (buffer, sink) = slowlog::memory_sink();
+        tel.install_slow_log(SlowLogConfig::threshold_ms(10_000), sink);
+        for _ in 0..100 {
+            let _q = tel.span("query.ferry");
+        }
+        assert!(buffer.lock().is_empty());
+        assert_eq!(tel.slow_log().unwrap().records_written(), 0);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let tel = Telemetry::enabled();
         tel.count("c", 1);
@@ -288,6 +423,7 @@ mod tests {
         tel.reset();
         assert!(tel.drain_spans().is_empty());
         assert!(tel.snapshot().counters.is_empty());
+        assert!(tel.flight().is_empty(), "reset clears the flight window");
         assert!(tel.is_enabled(), "reset must not flip the enabled bit");
     }
 }

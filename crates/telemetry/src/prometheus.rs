@@ -1,0 +1,156 @@
+//! Prometheus text exposition (version 0.0.4) rendered from a
+//! [`RegistrySnapshot`].
+//!
+//! * Counters and gauges map 1:1 (`# TYPE … counter` / `gauge`).
+//! * Histograms become native Prometheus histograms: cumulative
+//!   `_bucket{le="…"}` series over the non-empty log buckets plus the
+//!   mandatory `le="+Inf"`, `_sum` and `_count` — and, because the
+//!   log-bucketed layout already computes them cheaply, companion
+//!   `_p50`/`_p95`/`_p99` gauges so dashboards don't need
+//!   `histogram_quantile()` for the common percentiles.
+//! * Instrument names are sanitised to the Prometheus grammar
+//!   (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`,
+//!   and every series is prefixed with the `tf_` namespace.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_bounds, HistogramSnapshot};
+use crate::registry::RegistrySnapshot;
+
+/// Namespace prefix for every exported series.
+pub const NAMESPACE: &str = "tf_";
+
+/// Map an instrument name to a valid Prometheus metric name (without the
+/// namespace prefix): invalid characters become `_`, and a leading digit
+/// gets a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative = cumulative.saturating_add(c);
+        let (_, high) = bucket_bounds(i);
+        if high == u64::MAX {
+            continue; // folded into +Inf below
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"{high}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+    for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+        let _ = writeln!(out, "{name}_{suffix} {}", h.quantile(q));
+    }
+}
+
+/// Render a snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snapshot.counters {
+        let name = format!("{NAMESPACE}{}", sanitize_name(k));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (k, v) in &snapshot.gauges {
+        let name = format!("{NAMESPACE}{}", sanitize_name(k));
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (k, h) in &snapshot.histograms {
+        let name = format!("{NAMESPACE}{}", sanitize_name(k));
+        render_histogram(&mut out, &name, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn sanitize_covers_grammar() {
+        assert_eq!(sanitize_name("ledger.cache.hits"), "ledger_cache_hits");
+        assert_eq!(sanitize_name("kv-wal bytes"), "kv_wal_bytes");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn exposition_has_counters_gauges_histograms() {
+        let tel = Telemetry::enabled();
+        tel.count("ledger.blocks.deserialized", 3);
+        tel.registry().gauge("statedb.sstables").set(2);
+        tel.observe("ghfk", 5);
+        tel.observe("ghfk", 100);
+        let text = render_prometheus(&tel.snapshot());
+        assert!(text.contains("# TYPE tf_ledger_blocks_deserialized counter"));
+        assert!(text.contains("tf_ledger_blocks_deserialized 3"));
+        assert!(text.contains("# TYPE tf_statedb_sstables gauge"));
+        assert!(text.contains("tf_statedb_sstables 2"));
+        assert!(text.contains("# TYPE tf_ghfk histogram"));
+        assert!(text.contains("tf_ghfk_bucket{le=\"5\"} 1"));
+        assert!(text.contains("tf_ghfk_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tf_ghfk_sum 105"));
+        assert!(text.contains("tf_ghfk_count 2"));
+        assert!(text.contains("tf_ghfk_p99 "));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_sorted() {
+        let tel = Telemetry::enabled();
+        for v in [1u64, 1, 2, 500, 70_000] {
+            tel.observe("lat", v);
+        }
+        let text = render_prometheus(&tel.snapshot());
+        let mut last_le = -1f64;
+        let mut last_cum = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("tf_lat_bucket")) {
+            bucket_lines += 1;
+            let le_raw = line
+                .split("le=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
+            let le = if le_raw == "+Inf" {
+                f64::INFINITY
+            } else {
+                le_raw.parse::<f64>().unwrap()
+            };
+            let cum: u64 = line.split(' ').next_back().unwrap().parse().unwrap();
+            assert!(le > last_le, "le must ascend: {line}");
+            assert!(cum >= last_cum, "counts must be cumulative: {line}");
+            last_le = le;
+            last_cum = cum;
+        }
+        assert!(bucket_lines >= 4, "one line per non-empty bucket plus +Inf");
+        assert_eq!(last_cum, 5, "+Inf bucket equals count");
+    }
+}

@@ -149,6 +149,11 @@ impl RegistrySnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Gauge value by name, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
     /// Histogram snapshot by name, if recorded.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)

@@ -1,0 +1,71 @@
+//! Golden-file test for the Prometheus text renderer: a fixed registry
+//! must render byte-for-byte identically to `golden_metrics.prom`. If a
+//! renderer change is intentional, regenerate the golden with
+//! `UPDATE_GOLDEN=1 cargo test -p fabric-telemetry --test prometheus_golden`.
+
+use fabric_telemetry::{render_prometheus, Telemetry};
+
+fn fixed_snapshot() -> fabric_telemetry::RegistrySnapshot {
+    let tel = Telemetry::enabled();
+    tel.count("ledger.blocks.deserialized", 42);
+    tel.count("ledger.cache.hits", 7);
+    tel.registry().gauge("statedb.sstables").set(3);
+    tel.registry().gauge("indexdb.wal_bytes").set(16384);
+    tel.registry().gauge("ledger.height").set(-0); // zero renders as 0
+    for v in [3u64, 3, 14, 90, 1_500, 70_000, 70_001] {
+        tel.observe("ghfk", v);
+    }
+    tel.observe("query.ferry", 1_000_000);
+    tel.snapshot()
+}
+
+#[test]
+fn renderer_matches_golden_file() {
+    let rendered = render_prometheus(&fixed_snapshot());
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_metrics.prom");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "renderer output diverged from tests/golden_metrics.prom; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_exposition_format() {
+    // Independent of the exact bytes: every non-comment line is
+    // `name[{labels}] value`, every # line is a TYPE comment, and every
+    // histogram ends with an +Inf bucket equal to its _count.
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden_metrics.prom"
+    ))
+    .unwrap();
+    let mut inf_counts = std::collections::BTreeMap::new();
+    let mut counts = std::collections::BTreeMap::new();
+    for line in golden.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap();
+            let kind = it.next().unwrap();
+            assert!(["counter", "gauge", "histogram"].contains(&kind), "{line}");
+            assert!(name.starts_with("tf_"), "{line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect(line);
+        assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        if let Some(name) = series.strip_suffix("_bucket{le=\"+Inf\"}") {
+            inf_counts.insert(name.to_string(), value.to_string());
+        }
+        if let Some(name) = series.strip_suffix("_count") {
+            counts.insert(name.to_string(), value.to_string());
+        }
+    }
+    assert!(!inf_counts.is_empty(), "no histograms in golden");
+    assert_eq!(inf_counts, counts, "+Inf bucket must equal _count");
+}
