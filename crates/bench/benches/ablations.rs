@@ -10,6 +10,9 @@
 //! * **Telemetry overhead** — disabled telemetry must be free (a relaxed
 //!   atomic load per instrument site); enabled telemetry should stay in
 //!   the low single-digit percent for query work.
+//! * **Read path** — the seed per-location path vs coalesced history runs
+//!   with selective tx decode, and the sharded clock-LRU cache at 1/4/8
+//!   shards under parallel query load.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -117,6 +120,97 @@ fn bench_block_cache(c: &mut Criterion) {
     g.bench_function("cache-on-warm", |b| {
         b.iter(|| ferry_query(&TqfEngine, &cached, tau).unwrap().records.len())
     });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    // The read-path overhaul, broken into its two levers:
+    //
+    // * coalescing + selective decode — same blocks_deserialized for a
+    //   single scan (locations are (block, tx)-sorted either way), but far
+    //   fewer transactions decoded, so less CPU per block touched;
+    // * the sharded clock-LRU cache — repeated scans stop re-deserializing
+    //   blocks entirely, and shard count sets the lock contention under
+    //   parallel queries.
+    use temporal_core::parallel::ferry_query_parallel;
+    let workload = generate_scaled(DatasetId::Ds1, 600);
+    let t_max = workload.params.t_max;
+    let tau = Interval::new(t_max - t_max / 15, t_max);
+    let root = std::env::temp_dir().join(format!("ablation-readpath-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let build = |sub: &str, config: LedgerConfig| {
+        let ledger = Ledger::open(root.join(sub), config).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
+        ledger
+    };
+    let seed = build("seed", LedgerConfig::default().with_coalesce_history(false));
+    let coalesced = build("coalesced", LedgerConfig::default());
+
+    // Quantify the selective-decode lever in counters, not nanoseconds:
+    // identical blocks_deserialized, fewer txs_decoded.
+    let scan = |ledger: &Ledger| {
+        let before = ledger.stats();
+        ferry_query(&TqfEngine, ledger, tau).unwrap();
+        ledger.stats().delta(&before)
+    };
+    let d_seed = scan(&seed);
+    let d_coal = scan(&coalesced);
+    assert_eq!(d_seed.blocks_deserialized, d_coal.blocks_deserialized);
+    eprintln!(
+        "[ablation] single scan: {} block(s) both paths; txs_decoded {} (per-location) vs {} (selective)",
+        d_seed.blocks_deserialized, d_seed.txs_decoded, d_coal.txs_decoded
+    );
+
+    let mut g = c.benchmark_group("ablation/read_path_tqf_late");
+    g.sample_size(10);
+    g.bench_function("per-location", |b| {
+        b.iter(|| ferry_query(&TqfEngine, &seed, tau).unwrap().records.len())
+    });
+    g.bench_function("coalesced-selective", |b| {
+        b.iter(|| {
+            ferry_query(&TqfEngine, &coalesced, tau)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
+    g.finish();
+
+    // Shard-count sweep: same cache capacity, parallel TQF, warm cache.
+    let mut g = c.benchmark_group("ablation/cache_shards_parallel_tqf");
+    g.sample_size(10);
+    for shards in [1usize, 4, 8] {
+        let ledger = build(
+            &format!("shards-{shards}"),
+            LedgerConfig::default()
+                .with_cache_blocks(100_000)
+                .with_cache_shards(shards),
+        );
+        ferry_query_parallel(&TqfEngine, &ledger, tau, 4).unwrap(); // warm
+        let before = ledger.stats();
+        ferry_query_parallel(&TqfEngine, &ledger, tau, 4).unwrap();
+        let warm = ledger.stats().delta(&before);
+        eprintln!(
+            "[ablation] shards={shards}: warm scan deserializes {} block(s), {} cache hit(s)",
+            warm.blocks_deserialized, warm.cache_hits
+        );
+        g.bench_function(format!("shards-{shards}"), |b| {
+            b.iter(|| {
+                ferry_query_parallel(&TqfEngine, &ledger, tau, 4)
+                    .unwrap()
+                    .records
+                    .len()
+            })
+        });
+    }
     g.finish();
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -300,6 +394,7 @@ criterion_group!(
     benches,
     bench_lazy_vs_eager_ghfk,
     bench_block_cache,
+    bench_read_path,
     bench_partition_strategies,
     bench_parallel_query,
     bench_telemetry_overhead

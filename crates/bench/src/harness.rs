@@ -18,6 +18,11 @@ use temporal_core::m2::M2Encoder;
 use temporal_core::partition::FixedLength;
 use temporal_core::SimCostModel;
 
+/// On-disk format tag written into each cached ledger's `COMPLETE` marker.
+/// Bump whenever the block codec changes shape (v2: per-tx offset table)
+/// so stale `target/bench-data` ledgers rebuild instead of failing.
+pub const CACHE_FORMAT: &str = "v2";
+
 /// Harness context: scaling factor, cache root, simulated cost model.
 #[derive(Debug, Clone)]
 pub struct Ctx {
@@ -150,6 +155,10 @@ impl Ctx {
 
     /// Open the cached ledger `name`, building it with `build` on a miss.
     /// `build` receives a fresh ledger rooted in the cache directory.
+    ///
+    /// The `COMPLETE` marker stores [`CACHE_FORMAT`]; a ledger built by an
+    /// older binary with a different on-disk block layout is discarded and
+    /// rebuilt rather than failing to decode (CI caches `target/`).
     pub fn cached_ledger(
         &self,
         name: &str,
@@ -158,7 +167,7 @@ impl Ctx {
     ) -> Result<Ledger> {
         let dir = self.cache_dir(name);
         let marker = dir.join("COMPLETE");
-        if marker.exists() {
+        if std::fs::read(&marker).is_ok_and(|v| v == CACHE_FORMAT.as_bytes()) {
             return Ledger::open(&dir, config);
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -171,7 +180,7 @@ impl Ctx {
         let ledger = Ledger::open(&dir, config)?;
         build(&ledger)?;
         ledger.flush_stores()?;
-        std::fs::write(&marker, b"ok").map_err(|e| {
+        std::fs::write(&marker, CACHE_FORMAT).map_err(|e| {
             fabric_ledger::Error::InvalidArgument(format!("cannot write marker: {e}"))
         })?;
         Ok(ledger)
@@ -425,6 +434,38 @@ mod tests {
         assert!(outcome.stats.blocks_deserialized() > 0);
         assert!(!ledger.telemetry().is_enabled(), "state must be restored");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_cache_format_marker_triggers_rebuild() {
+        let root = std::env::temp_dir().join(format!(
+            "harness-marker-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut ctx = Ctx::with_scale(7777);
+        ctx.data_root = root.clone();
+        let built = std::cell::Cell::new(0u32);
+        let build = |_: &Ledger| {
+            built.set(built.get() + 1);
+            Ok(())
+        };
+        ctx.cached_ledger("fmt", LedgerConfig::small_for_tests(), build)
+            .unwrap();
+        assert_eq!(built.get(), 1);
+        // Fresh marker with the current format: reopened, not rebuilt.
+        ctx.cached_ledger("fmt", LedgerConfig::small_for_tests(), build)
+            .unwrap();
+        assert_eq!(built.get(), 1, "matching marker must reuse the cache");
+        // A pre-versioning marker (old binaries wrote "ok") must rebuild.
+        let marker = root.join("scale7777").join("fmt").join("COMPLETE");
+        std::fs::write(&marker, b"ok").unwrap();
+        ctx.cached_ledger("fmt", LedgerConfig::small_for_tests(), build)
+            .unwrap();
+        assert_eq!(built.get(), 2, "stale format marker must trigger rebuild");
+        assert_eq!(std::fs::read(&marker).unwrap(), CACHE_FORMAT.as_bytes());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -220,7 +220,7 @@ pub fn bench_file_from_samples(
 }
 
 /// Tolerances for [`diff`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DiffConfig {
     /// Relative tolerance for [`MetricKind::Time`] metrics (0.3 = +30%).
     pub time_tolerance: f64,
@@ -229,6 +229,12 @@ pub struct DiffConfig {
     pub time_slack: f64,
     /// Relative tolerance for [`MetricKind::Counter`] metrics (0 = exact).
     pub counter_tolerance: f64,
+    /// Per-key counter tolerance overrides: `(substring, tolerance)` pairs
+    /// checked in order; the first pattern contained in a metric key wins
+    /// over [`DiffConfig::counter_tolerance`]. Used to loosen exactly one
+    /// counter family (e.g. `txs_decoded` across a codec change) without
+    /// weakening the exact-match default for everything else.
+    pub counter_overrides: Vec<(String, f64)>,
 }
 
 impl Default for DiffConfig {
@@ -237,7 +243,20 @@ impl Default for DiffConfig {
             time_tolerance: 0.30,
             time_slack: 0.005,
             counter_tolerance: 0.0,
+            counter_overrides: Vec::new(),
         }
+    }
+}
+
+impl DiffConfig {
+    /// The counter tolerance applying to `key`: the first matching
+    /// override, else the global [`DiffConfig::counter_tolerance`].
+    pub fn counter_tolerance_for(&self, key: &str) -> f64 {
+        self.counter_overrides
+            .iter()
+            .find(|(pat, _)| key.contains(pat.as_str()))
+            .map(|(_, tol)| *tol)
+            .unwrap_or(self.counter_tolerance)
     }
 }
 
@@ -353,7 +372,7 @@ pub fn diff(baseline: &BenchFile, current: &BenchFile, cfg: &DiffConfig) -> Diff
                     && cur.value - base.value > cfg.time_slack
             }
             MetricKind::Counter => {
-                let tol = base.value.abs() * cfg.counter_tolerance;
+                let tol = base.value.abs() * cfg.counter_tolerance_for(key);
                 (cur.value - base.value).abs() > tol
             }
         };
@@ -744,6 +763,34 @@ mod tests {
             ..cfg
         };
         assert!(!diff(&base, &drift, &loose).has_regression());
+    }
+
+    #[test]
+    fn counter_overrides_loosen_only_matching_keys() {
+        let base = file_with(&[
+            ("ds1/me/tqf/blocks", 100.0, MetricKind::Counter),
+            ("ds1/me/tqf/txs_decoded", 1000.0, MetricKind::Counter),
+        ]);
+        let cur = file_with(&[
+            ("ds1/me/tqf/blocks", 100.0, MetricKind::Counter),
+            ("ds1/me/tqf/txs_decoded", 1040.0, MetricKind::Counter),
+        ]);
+        // Exact by default: the txs_decoded drift regresses.
+        assert!(diff(&base, &cur, &DiffConfig::default()).has_regression());
+        // A txs_decoded override absorbs it without loosening `blocks`.
+        let cfg = DiffConfig {
+            counter_overrides: vec![("txs_decoded".to_string(), 0.05)],
+            ..DiffConfig::default()
+        };
+        assert!(!diff(&base, &cur, &cfg).has_regression());
+        assert_eq!(cfg.counter_tolerance_for("x/blocks"), 0.0);
+        assert_eq!(cfg.counter_tolerance_for("x/txs_decoded"), 0.05);
+        // The override must not rescue non-matching counters.
+        let blocks_drift = file_with(&[
+            ("ds1/me/tqf/blocks", 101.0, MetricKind::Counter),
+            ("ds1/me/tqf/txs_decoded", 1000.0, MetricKind::Counter),
+        ]);
+        assert!(diff(&base, &blocks_drift, &cfg).has_regression());
     }
 
     #[test]

@@ -22,6 +22,7 @@ struct Cell {
     ghfk_wall: std::time::Duration,
     ghfk_calls: u64,
     blocks: u64,
+    txs_decoded: u64,
     sim_secs: f64,
     records: usize,
 }
@@ -43,6 +44,7 @@ fn run_engine(
         ghfk_wall: outcome.retrieval_wall,
         ghfk_calls: outcome.stats.ghfk_calls(),
         blocks: outcome.stats.blocks_deserialized(),
+        txs_decoded: outcome.stats.txs_decoded(),
         sim_secs: ctx.sim.simulate(&outcome.stats),
         records: outcome.records.len(),
     };
@@ -96,6 +98,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "ghfk_s",
         "ghfk_calls",
         "blocks_deserialized",
+        "txs_decoded",
         "sim_s",
         "records",
     ]);
@@ -124,6 +127,11 @@ pub fn run(ctx: &Ctx) -> Result<String> {
             format!("{prefix}/blocks"),
             MetricKind::Counter,
             cell.blocks as f64,
+        ));
+        samples.push((
+            format!("{prefix}/txs_decoded"),
+            MetricKind::Counter,
+            cell.txs_decoded as f64,
         ));
         samples.push((format!("{prefix}/sim_s"), MetricKind::Time, cell.sim_secs));
     };
@@ -198,6 +206,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                 m1.ghfk_wall.as_secs_f64().to_string(),
                 m1.ghfk_calls.to_string(),
                 m1.blocks.to_string(),
+                m1.txs_decoded.to_string(),
                 format!("{:.3}", m1.sim_secs),
                 m1.records.to_string(),
             ]);
@@ -221,6 +230,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                 tqf.ghfk_wall.as_secs_f64().to_string(),
                 tqf.ghfk_calls.to_string(),
                 tqf.blocks.to_string(),
+                tqf.txs_decoded.to_string(),
                 format!("{:.3}", tqf.sim_secs),
                 tqf.records.to_string(),
             ]);
@@ -252,6 +262,7 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                     m2.ghfk_wall.as_secs_f64().to_string(),
                     m2.ghfk_calls.to_string(),
                     m2.blocks.to_string(),
+                    m2.txs_decoded.to_string(),
                     format!("{:.3}", m2.sim_secs),
                     m2.records.to_string(),
                 ]);

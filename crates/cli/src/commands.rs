@@ -34,14 +34,38 @@ const USAGE: &str = "usage: tfq <command> ...
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
   replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]
   serve   <dir> [--addr H:P] [--slow-ms N] [--slow-factor F] [--slow-log PATH]
-  bench-diff <baseline.json> <current.json> [--time-tol F] [--counter-tol F]";
+  bench-diff <baseline.json> <current.json> [--time-tol F] [--counter-tol F]
+             [--counter-tol-for PAT=F]...
+read-path flags (any command taking <dir>):
+  --cache-blocks N   block-cache capacity (0 = off, the paper's cost model)
+  --cache-shards N   cache mutex shards (0 = auto from capacity)
+  --coalesce on|off  group history reads by block (default on)";
 
 fn led(e: fabric_ledger::Error) -> String {
     e.to_string()
 }
 
-fn open(dir: &str) -> Result<Ledger, String> {
-    Ledger::open(dir, LedgerConfig::default()).map_err(led)
+/// Ledger config from the read-path flags shared by every command:
+/// `--cache-blocks N` (default 0 = off, the paper's cost model),
+/// `--cache-shards N` (default 0 = auto) and `--coalesce on|off`.
+fn config_from(args: &Args) -> Result<LedgerConfig, String> {
+    let mut config = LedgerConfig::default();
+    if let Some(n) = args.opt_u64("cache-blocks")? {
+        config.cache_blocks = n as usize;
+    }
+    if let Some(n) = args.opt_u64("cache-shards")? {
+        config.cache_shards = n as usize;
+    }
+    match args.opt("coalesce") {
+        None | Some("on") => {}
+        Some("off") => config.coalesce_history = false,
+        Some(other) => return Err(format!("--coalesce must be on|off, got '{other}'")),
+    }
+    Ok(config)
+}
+
+fn open_with(args: &Args, dir: &str) -> Result<Ledger, String> {
+    Ledger::open(dir, config_from(args)?).map_err(led)
 }
 
 /// Route `argv` to a command.
@@ -90,7 +114,7 @@ fn demo(args: &Args) -> CliResult {
     } else {
         dataset::generate_scaled(id, scale)
     };
-    let ledger = open(dir)?;
+    let ledger = open_with(args, dir)?;
     let report = match args.opt_u64("m2-u")? {
         Some(u) => ingest(&ledger, &workload.events, mode, &M2Encoder { u }).map_err(led)?,
         None => ingest(&ledger, &workload.events, mode, &IdentityEncoder).map_err(led)?,
@@ -104,7 +128,7 @@ fn demo(args: &Args) -> CliResult {
 }
 
 fn info(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let stats = ledger.stats();
     println!("height:      {}", ledger.height());
     println!("tip hash:    {}", ledger.last_hash());
@@ -131,7 +155,7 @@ fn info(args: &Args) -> CliResult {
 }
 
 fn verify(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let started = std::time::Instant::now();
     let tip = ledger.verify_chain().map_err(|e| format!("FAILED: {e}"))?;
     println!(
@@ -144,7 +168,7 @@ fn verify(args: &Args) -> CliResult {
 }
 
 fn block(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let num: u64 = args
         .pos(2, "number")?
         .parse()
@@ -176,7 +200,7 @@ fn block(args: &Args) -> CliResult {
 }
 
 fn history(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let key = args.pos(2, "key")?;
     let mut iter = ledger.get_history_for_key(key.as_bytes()).map_err(led)?;
     let mut n = 0;
@@ -201,7 +225,7 @@ fn history(args: &Args) -> CliResult {
 }
 
 fn backup(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let dest = args.pos(2, "dest-dir")?;
     let started = std::time::Instant::now();
     ledger.backup(dest).map_err(led)?;
@@ -242,7 +266,7 @@ fn replay(args: &Args) -> CliResult {
     };
     let mut events = fabric_workload::trace::load_trace(trace_path).map_err(|e| e.to_string())?;
     events.sort_by_key(|e| (e.time, e.subject));
-    let ledger = open(dir)?;
+    let ledger = open_with(args, dir)?;
     let report = match args.opt_u64("m2-u")? {
         Some(u) => ingest(&ledger, &events, mode, &M2Encoder { u }).map_err(led)?,
         None => ingest(&ledger, &events, mode, &IdentityEncoder).map_err(led)?,
@@ -255,7 +279,7 @@ fn replay(args: &Args) -> CliResult {
 }
 
 fn tx_lookup(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let id_hex = args.pos(2, "txid-hex")?;
     let digest = fabric_ledger::Digest::from_hex(id_hex)
         .ok_or_else(|| "txid must be 64 hex chars".to_string())?;
@@ -310,7 +334,7 @@ fn parse_tau(args: &Args, first_pos: usize) -> Result<Interval, String> {
 }
 
 fn events(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
         .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
     let tau = parse_tau(args, 3)?;
@@ -334,7 +358,7 @@ fn events(args: &Args) -> CliResult {
 }
 
 fn join(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let tau = parse_tau(args, 2)?;
     let engine = pick_engine(args)?;
     let outcome = ferry_query(engine.as_ref(), &ledger, tau).map_err(led)?;
@@ -360,7 +384,7 @@ fn join(args: &Args) -> CliResult {
 
 fn explain(args: &Args) -> CliResult {
     use temporal_core::explain::ExplainQuery;
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
         .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
     let tau = parse_tau(args, 3)?;
@@ -386,7 +410,7 @@ fn explain(args: &Args) -> CliResult {
 }
 
 fn analyze(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
         .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
     let tau = parse_tau(args, 3)?;
@@ -410,7 +434,7 @@ fn analyze(args: &Args) -> CliResult {
 }
 
 fn stats(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let tau = parse_tau(args, 2)?;
     let engine = pick_engine(args)?;
     let tel = ledger.telemetry();
@@ -442,7 +466,7 @@ fn stats(args: &Args) -> CliResult {
 }
 
 fn trace(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let tau = parse_tau(args, 2)?;
     let engine = pick_engine(args)?;
     let key = match args.opt("key") {
@@ -499,7 +523,7 @@ fn trace_query(
 }
 
 fn index(args: &Args) -> CliResult {
-    let ledger = open(args.pos(1, "dir")?)?;
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let u = args
         .opt_u64("u")?
         .ok_or_else(|| "index requires --u".to_string())?;
@@ -612,7 +636,7 @@ mod tests {
     fn trace_tree_nests_at_least_three_levels() {
         let dir = TempDir::new("depth");
         run(&["demo", dir.s(), "ds3", "--scale", "300"]).unwrap();
-        let ledger = open(dir.s()).unwrap();
+        let ledger = Ledger::open(dir.s(), LedgerConfig::default()).unwrap();
         let (_, tree) = trace_query(&ledger, &TqfEngine, Interval::new(0, 5000), None).unwrap();
         let depth = tree.iter().map(|n| n.depth()).max().unwrap_or(0);
         assert!(depth >= 3, "span tree depth {depth} < 3");
@@ -620,6 +644,29 @@ mod tests {
         assert!(rendered.contains("query.ferry"), "{rendered}");
         assert!(rendered.contains("ghfk"), "{rendered}");
         assert!(rendered.contains("block.deserialize"), "{rendered}");
+    }
+
+    #[test]
+    fn read_path_flags_are_accepted_and_validated() {
+        let dir = TempDir::new("readpath");
+        run(&["demo", dir.s(), "ds3", "--scale", "400"]).unwrap();
+        // Cached + sharded + coalesced (the overhaul path).
+        run(&[
+            "join",
+            dir.s(),
+            "0",
+            "5000",
+            "--cache-blocks",
+            "64",
+            "--cache-shards",
+            "4",
+        ])
+        .unwrap();
+        // Seed read path: coalescing off, no cache.
+        run(&["join", dir.s(), "0", "5000", "--coalesce", "off"]).unwrap();
+        run(&["history", dir.s(), "S00000", "--coalesce", "off"]).unwrap();
+        assert!(run(&["join", dir.s(), "0", "5000", "--coalesce", "maybe"]).is_err());
+        assert!(run(&["join", dir.s(), "0", "5000", "--cache-blocks", "x"]).is_err());
     }
 
     #[test]

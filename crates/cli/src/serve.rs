@@ -77,11 +77,14 @@ pub fn serve(args: &Args) -> CliResult {
 }
 
 /// `tfq bench-diff <baseline.json> <current.json> [--time-tol F]
-/// [--time-slack SECS] [--counter-tol F]`
+/// [--time-slack SECS] [--counter-tol F] [--counter-tol-for PAT=F]...`
 ///
 /// Prints a per-metric comparison; errors (non-zero exit) when any metric
 /// regressed beyond tolerance, a baseline metric vanished, or the two
-/// files are not comparable.
+/// files are not comparable. `--counter-tol-for` may repeat: each
+/// `pattern=tolerance` pair loosens only counters whose key contains the
+/// pattern (e.g. `--counter-tol-for txs_decoded=0.05`), leaving every
+/// other counter on the exact default.
 pub fn bench_diff(args: &Args) -> CliResult {
     let read = |i: usize, name: &str| -> Result<BenchFile, String> {
         let path = args.pos(i, name)?;
@@ -107,6 +110,15 @@ pub fn bench_diff(args: &Args) -> CliResult {
     }
     if let Some(v) = parse_f64("counter-tol")? {
         cfg.counter_tolerance = v;
+    }
+    for spec in args.opt_all("counter-tol-for") {
+        let (pattern, tol) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--counter-tol-for must be pattern=tolerance, got {spec:?}"))?;
+        let tol: f64 = tol
+            .parse()
+            .map_err(|_| format!("--counter-tol-for {spec:?}: tolerance must be a number"))?;
+        cfg.counter_overrides.push((pattern.to_string(), tol));
     }
     let report = diff(&baseline, &current, &cfg);
     print!("{}", report.render());
@@ -180,6 +192,43 @@ mod tests {
         std::fs::write(&garbage, "not json").unwrap();
         assert!(run(&["bench-diff", &base, garbage.to_str().unwrap()]).is_err());
         assert!(run(&["bench-diff", &base]).is_err());
+    }
+
+    #[test]
+    fn bench_diff_counter_tol_for_targets_one_family() {
+        let dir = TempDir::new("diff-for");
+        let write = |name: &str, blocks: f64, txs: f64| -> String {
+            let mut f = BenchFile::new("table1", MachineInfo::capture(100));
+            f.insert("ds3/se/tqf/blocks", blocks, MetricKind::Counter);
+            f.insert("ds3/se/tqf/txs_decoded", txs, MetricKind::Counter);
+            let path = dir.path(name);
+            std::fs::write(&path, f.to_json()).unwrap();
+            path.to_str().unwrap().to_string()
+        };
+        let base = write("base.json", 40.0, 400.0);
+        let tx_drift = write("txdrift.json", 40.0, 410.0);
+        let blk_drift = write("blkdrift.json", 41.0, 400.0);
+        assert!(run(&["bench-diff", &base, &tx_drift]).is_err());
+        assert!(run(&[
+            "bench-diff",
+            &base,
+            &tx_drift,
+            "--counter-tol-for",
+            "txs_decoded=0.05",
+        ])
+        .is_ok());
+        // The override must not rescue other counters.
+        assert!(run(&[
+            "bench-diff",
+            &base,
+            &blk_drift,
+            "--counter-tol-for",
+            "txs_decoded=0.05",
+        ])
+        .is_err());
+        // Malformed specs are hard errors.
+        assert!(run(&["bench-diff", &base, &base, "--counter-tol-for", "nope"]).is_err());
+        assert!(run(&["bench-diff", &base, &base, "--counter-tol-for", "k=x"]).is_err());
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! real peer the per-key retrievals are independent reads, so they
 //! parallelise embarrassingly. [`ferry_query_parallel`] fans the per-key
 //! event retrieval out over a crossbeam scope while keeping results
-//! deterministic (workers write into pre-allocated slots; the join itself
-//! is unchanged). The ablation benchmarks quantify the speed-up; all
-//! engines remain interchangeable because the function takes the same
-//! [`TemporalEngine`] trait.
+//! deterministic: each key owns a dedicated result cell, so workers never
+//! contend on a shared collection — only on the atomic work counter. The
+//! join itself is unchanged. The ablation benchmarks quantify the
+//! speed-up; all engines remain interchangeable because the function
+//! takes the same [`TemporalEngine`] trait.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,9 +38,11 @@ pub fn events_for_keys_parallel(
             .map(|&k| engine.events_for_key(ledger, k, tau))
             .collect();
     }
-    let mut slots: Vec<Option<Result<Vec<Event>>>> = Vec::with_capacity(keys.len());
-    slots.resize_with(keys.len(), || None);
-    let slots = Mutex::new(slots);
+    // One cell per key: workers claim disjoint indices via `next`, so each
+    // slot mutex is uncontended — it exists only to satisfy the borrow
+    // checker across the scope, not to serialize writers.
+    let mut slots: Vec<Mutex<Option<Result<Vec<Event>>>>> = Vec::with_capacity(keys.len());
+    slots.resize_with(keys.len(), || Mutex::new(None));
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
@@ -49,16 +52,18 @@ pub fn events_for_keys_parallel(
                     break;
                 }
                 let result = engine.events_for_key(ledger, keys[i], tau);
-                slots.lock().expect("slot mutex poisoned")[i] = Some(result);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
             });
         }
     })
     .expect("query worker panicked");
     slots
-        .into_inner()
-        .expect("slot mutex poisoned")
         .into_iter()
-        .map(|slot| slot.expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -35,6 +35,12 @@ impl QueryStats {
         self.io.blocks_deserialized
     }
 
+    /// Transactions decoded while reading those blocks (selective decode
+    /// makes this smaller than blocks × batch size).
+    pub fn txs_decoded(&self) -> u64 {
+        self.io.txs_decoded
+    }
+
     /// `GetState` calls issued.
     pub fn get_state_calls(&self) -> u64 {
         self.io.get_state_calls
@@ -47,6 +53,7 @@ impl QueryStats {
             io: IoStatsSnapshot {
                 blocks_written: self.io.blocks_written + other.io.blocks_written,
                 blocks_deserialized: self.io.blocks_deserialized + other.io.blocks_deserialized,
+                txs_decoded: self.io.txs_decoded + other.io.txs_decoded,
                 block_bytes_read: self.io.block_bytes_read + other.io.block_bytes_read,
                 block_bytes_written: self.io.block_bytes_written + other.io.block_bytes_written,
                 cache_hits: self.io.cache_hits + other.io.cache_hits,

@@ -2,9 +2,13 @@
 
 use proptest::prelude::*;
 
+use fabric_ledger::{Ledger, LedgerConfig};
+use fabric_workload::generator::{EventDistribution, GeneratedWorkload, WorkloadParams};
+use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
 use temporal_core::evset::{EvSet, TemporalEvent};
 use temporal_core::interval::Interval;
 use temporal_core::join::{build_stays, Span};
+use temporal_core::m1::M1Indexer;
 use temporal_core::partition::{EventCountBalanced, FixedLength, PartitionStrategy};
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
@@ -236,5 +240,87 @@ proptest! {
         if let Some(i) = a.intersect(&b) {
             prop_assert_eq!(i.intersect(&a), Some(i));
         }
+    }
+}
+
+// ---------- read-path overhaul: coalescing must be invisible ----------
+
+fn unique_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let p = std::env::temp_dir().join(format!(
+        "props-coalesce-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+proptest! {
+    // Each case builds and M1-indexes two ledgers; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// `Ledger::history` must be byte-identical with coalescing on vs. off,
+    /// across MultiEvent/SingleEvent ingest and the M1 write-then-delete
+    /// (null tombstone) composite-key layout, cached or not.
+    #[test]
+    fn history_is_identical_with_coalescing_on_or_off(
+        seed in 0u64..10_000,
+        multi_event in any::<bool>(),
+        cache_blocks in prop::sample::select(vec![0usize, 4, 64]),
+    ) {
+        let workload = GeneratedWorkload::generate(WorkloadParams {
+            shipments: 3,
+            containers: 2,
+            trucks: 1,
+            events_per_key: 12,
+            distribution: EventDistribution::Uniform,
+            t_max: 400,
+            seed,
+        });
+        let mode = if multi_event { IngestMode::MultiEvent } else { IngestMode::SingleEvent };
+        let dir = unique_dir();
+        let u = 100u64;
+        let open = |sub: &str, coalesce: bool| -> Ledger {
+            // The coalesced ledger also exercises the cache (when enabled);
+            // the per-location ledger is the seed baseline: no cache.
+            let config = LedgerConfig::small_for_tests()
+                .with_coalesce_history(coalesce)
+                .with_cache_blocks(if coalesce { cache_blocks } else { 0 })
+                .with_cache_shards(2);
+            let ledger = Ledger::open(dir.join(sub), config).unwrap();
+            ingest(&ledger, &workload.events, mode, &IdentityEncoder).unwrap();
+            let strategy = FixedLength { u };
+            M1Indexer::fixed(&strategy)
+                .run_epoch(&ledger, &workload.keys(), Interval::new(0, 400))
+                .unwrap();
+            ledger
+        };
+        let on = open("coalesce-on", true);
+        let off = open("coalesce-off", false);
+        for key in workload.keys() {
+            let a = on.get_history_for_key(&key.key()).unwrap().collect_all().unwrap();
+            let b = off.get_history_for_key(&key.key()).unwrap().collect_all().unwrap();
+            prop_assert_eq!(a, b, "base key {} history diverged", key);
+        }
+        // M1 composite keys were written then deleted: their history ends in
+        // a null tombstone, and both read paths must agree on it.
+        let mut tombstones = 0usize;
+        for key in workload.keys() {
+            for i in 0..4u64 {
+                let theta = Interval::new(i * u, (i + 1) * u);
+                let composite = theta.composite_key(&key.key());
+                let a = on.get_history_for_key(&composite).unwrap().collect_all().unwrap();
+                let b = off.get_history_for_key(&composite).unwrap().collect_all().unwrap();
+                if a.last().is_some_and(|s| s.value.is_none()) {
+                    tombstones += 1;
+                }
+                prop_assert_eq!(a, b, "composite key history diverged for {} {}", key, theta);
+            }
+        }
+        prop_assert!(tombstones > 0, "expected at least one M1 tombstone layout");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -17,6 +17,18 @@ pub struct LedgerConfig {
     /// caching** — matching Fabric v1.0, which re-deserializes blocks on
     /// every history read; the paper's cost model depends on this.
     pub cache_blocks: usize,
+    /// Number of mutex shards for the block cache. **Zero (default)**
+    /// derives a count from `cache_blocks` (small caches stay
+    /// single-shard); set explicitly when benchmarking shard effects.
+    pub cache_shards: usize,
+    /// Group history locations by block so each block is read and decoded
+    /// at most once per GHFK scan (on by default). Turning this off
+    /// restores the per-location read path — one block fetch per
+    /// historical state except consecutive same-block entries — which the
+    /// equivalence tests and ablations use as the seed baseline. Either
+    /// way the paper's `blocks_deserialized` count for single-visit scans
+    /// is identical; coalescing only removes *re*-reads.
+    pub coalesce_history: bool,
     /// Options for the state database store.
     pub state_db: KvOptions,
     /// Options for the index store (block locations + history index).
@@ -30,6 +42,8 @@ impl Default for LedgerConfig {
             block_max_bytes: 512 << 10,
             blockfile_max_bytes: 64 << 20,
             cache_blocks: 0,
+            cache_shards: 0,
+            coalesce_history: true,
             state_db: KvOptions::default(),
             index_db: KvOptions::default(),
         }
@@ -44,6 +58,8 @@ impl LedgerConfig {
             block_max_bytes: 4 << 10,
             blockfile_max_bytes: 8 << 10,
             cache_blocks: 0,
+            cache_shards: 0,
+            coalesce_history: true,
             state_db: KvOptions::small_for_tests(),
             index_db: KvOptions::small_for_tests(),
         }
@@ -60,6 +76,18 @@ impl LedgerConfig {
         self.cache_blocks = n;
         self
     }
+
+    /// Builder-style setter for [`LedgerConfig::cache_shards`].
+    pub fn with_cache_shards(mut self, n: usize) -> Self {
+        self.cache_shards = n;
+        self
+    }
+
+    /// Builder-style setter for [`LedgerConfig::coalesce_history`].
+    pub fn with_coalesce_history(mut self, on: bool) -> Self {
+        self.coalesce_history = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -71,14 +99,20 @@ mod tests {
         let c = LedgerConfig::default();
         assert_eq!(c.block_max_txs, 10);
         assert_eq!(c.cache_blocks, 0, "cache must default to off");
+        assert_eq!(c.cache_shards, 0, "shard count must default to auto");
+        assert!(c.coalesce_history, "coalescing is on by default");
     }
 
     #[test]
     fn builders_apply() {
         let c = LedgerConfig::default()
             .with_block_max_txs(50)
-            .with_cache_blocks(16);
+            .with_cache_blocks(16)
+            .with_cache_shards(4)
+            .with_coalesce_history(false);
         assert_eq!(c.block_max_txs, 50);
         assert_eq!(c.cache_blocks, 16);
+        assert_eq!(c.cache_shards, 4);
+        assert!(!c.coalesce_history);
     }
 }

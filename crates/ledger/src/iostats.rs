@@ -17,6 +17,14 @@ pub struct IoStats {
     /// Blocks read *and decoded* from block files (the paper's unit of
     /// query cost). Cache hits do not count.
     pub blocks_deserialized: AtomicU64,
+    /// Transactions actually decoded while reading blocks. A full
+    /// [`read_block`](crate::blockfile::BlockFileManager::read_block)
+    /// decodes every tx in the block; the selective
+    /// [`read_block_txs`](crate::blockfile::BlockFileManager::read_block_txs)
+    /// path counts only the txs a history scan asked for, so
+    /// `txs_decoded / blocks_deserialized` quantifies how much decode work
+    /// the offset table saves.
+    pub txs_decoded: AtomicU64,
     /// Bytes read from block files for deserialization.
     pub block_bytes_read: AtomicU64,
     /// Bytes appended to block files.
@@ -56,6 +64,7 @@ impl IoStats {
         IoStatsSnapshot {
             blocks_written: self.blocks_written.load(Ordering::Relaxed),
             blocks_deserialized: self.blocks_deserialized.load(Ordering::Relaxed),
+            txs_decoded: self.txs_decoded.load(Ordering::Relaxed),
             block_bytes_read: self.block_bytes_read.load(Ordering::Relaxed),
             block_bytes_written: self.block_bytes_written.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -75,6 +84,8 @@ pub struct IoStatsSnapshot {
     pub blocks_written: u64,
     /// See [`IoStats::blocks_deserialized`].
     pub blocks_deserialized: u64,
+    /// See [`IoStats::txs_decoded`].
+    pub txs_decoded: u64,
     /// See [`IoStats::block_bytes_read`].
     pub block_bytes_read: u64,
     /// See [`IoStats::block_bytes_written`].
@@ -107,6 +118,7 @@ impl IoStatsSnapshot {
             blocks_deserialized: self
                 .blocks_deserialized
                 .saturating_sub(earlier.blocks_deserialized),
+            txs_decoded: self.txs_decoded.saturating_sub(earlier.txs_decoded),
             block_bytes_read: self
                 .block_bytes_read
                 .saturating_sub(earlier.block_bytes_read),
@@ -139,8 +151,8 @@ impl std::fmt::Display for IoStatsSnapshot {
         )?;
         writeln!(
             f,
-            "blocks_deserialized {}  block_bytes_read {}  cache_hits {}",
-            self.blocks_deserialized, self.block_bytes_read, self.cache_hits
+            "blocks_deserialized {}  txs_decoded {}  block_bytes_read {}  cache_hits {}",
+            self.blocks_deserialized, self.txs_decoded, self.block_bytes_read, self.cache_hits
         )?;
         write!(
             f,
@@ -177,6 +189,7 @@ mod tests {
             "blocks_written",
             "block_bytes_written",
             "blocks_deserialized",
+            "txs_decoded",
             "block_bytes_read",
             "cache_hits",
             "ghfk_calls",

@@ -18,7 +18,13 @@
 //!   MVCC validation at commit.
 //! * **Lazy `GetHistoryForKey`** ([`ledger::HistoryIterator`]): blocks are
 //!   deserialized one at a time as the iterator advances; abandoning the
-//!   iterator early skips the remaining blocks.
+//!   iterator early skips the remaining blocks. History locations are
+//!   coalesced into per-block runs by default, and uncached reads decode
+//!   only the needed transactions through the block's per-tx offset table
+//!   ([`Block::decode_txs`]).
+//! * **Block cache** ([`cache`]): opt-in sharded clock-LRU cache of
+//!   deserialized blocks (off by default to match Fabric v1.0 and the
+//!   paper's cost model).
 //!
 //! ## Example
 //!
@@ -62,8 +68,9 @@ pub mod shim;
 pub mod statedb;
 pub mod tx;
 
-pub use block::{Block, BlockHeader};
+pub use block::{Block, BlockHeader, PartialBlock};
 pub use blockfile::{BlockFileManager, BlockLocation};
+pub use cache::{BlockCache, CacheShardStats, CacheStats};
 pub use config::LedgerConfig;
 pub use error::{Error, Result};
 pub use fabric_telemetry::Telemetry;

@@ -59,20 +59,21 @@ impl Gauge {
     }
 }
 
-/// Name → instrument maps. Names are static strings so the data path
-/// never allocates; ordering in snapshots is lexicographic (BTreeMap).
+/// Instrument name: static on the hot paths (no allocation), owned for
+/// runtime-shaped names like per-shard cache gauges.
+type Name = std::borrow::Cow<'static, str>;
+
+/// Name → instrument maps. Hot-path names are static strings so the data
+/// path never allocates; ordering in snapshots is lexicographic (BTreeMap).
 #[derive(Default)]
 pub struct Registry {
-    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
-    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
-    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    counters: RwLock<BTreeMap<Name, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<Name, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<Name, Arc<Histogram>>>,
 }
 
-fn get_or_create<T: Default>(
-    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
-    name: &'static str,
-) -> Arc<T> {
-    if let Some(found) = map.read().get(name) {
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<Name, Arc<T>>>, name: Name) -> Arc<T> {
+    if let Some(found) = map.read().get(name.as_ref()) {
         return Arc::clone(found);
     }
     Arc::clone(map.write().entry(name).or_default())
@@ -86,17 +87,24 @@ impl Registry {
 
     /// The named counter, created on first use.
     pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        get_or_create(&self.counters, name)
+        get_or_create(&self.counters, Name::Borrowed(name))
     }
 
     /// The named gauge, created on first use.
     pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        get_or_create(&self.gauges, name)
+        get_or_create(&self.gauges, Name::Borrowed(name))
+    }
+
+    /// A gauge with a runtime-constructed name (e.g. the per-shard block
+    /// cache gauges `ledger.cache.shard3.hits`). Allocates on first use of
+    /// each name; callers on hot paths should cache the handle.
+    pub fn gauge_owned(&self, name: impl Into<String>) -> Arc<Gauge> {
+        get_or_create(&self.gauges, Name::Owned(name.into()))
     }
 
     /// The named histogram, created on first use.
     pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
-        get_or_create(&self.histograms, name)
+        get_or_create(&self.histograms, Name::Borrowed(name))
     }
 
     /// Point-in-time copy of every instrument.
@@ -191,6 +199,16 @@ mod tests {
         assert_eq!(names, ["a", "b"]);
         r.counter("a").add(100);
         assert_eq!(snap.counter("a"), 1, "snapshot must not track live values");
+    }
+
+    #[test]
+    fn owned_and_static_names_alias() {
+        let r = Registry::new();
+        r.gauge("depth").set(3);
+        r.gauge_owned(String::from("depth")).add(2);
+        assert_eq!(r.snapshot().gauge("depth"), Some(5));
+        r.gauge_owned(format!("shard{}.hits", 7)).set(9);
+        assert_eq!(r.snapshot().gauge("shard7.hits"), Some(9));
     }
 
     #[test]
