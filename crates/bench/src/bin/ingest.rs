@@ -1,0 +1,11 @@
+//! Run the ingest write-path ablation. See crate docs for scaling.
+fn main() {
+    let ctx = temporal_bench::Ctx::from_env();
+    match temporal_bench::tables::ingest::run(&ctx) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("ingest bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

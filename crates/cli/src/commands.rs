@@ -29,7 +29,7 @@ const USAGE: &str = "usage: tfq <command> ...
   analyze <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
   stats   <dir> <t1> <t2>       [--engine tqf|m1|m2] [--u U] [--format table|json|csv]
   trace   <dir> <t1> <t2>       [--key K] [--engine tqf|m1|m2] [--u U]
-  index   <dir> --u U [--from T1] [--to T2]
+  index   <dir> --u U [--from T1] [--to T2] [--m1-index-threads N]
   backup  <dir> <dest-dir>
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
   replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]
@@ -39,7 +39,12 @@ const USAGE: &str = "usage: tfq <command> ...
 read-path flags (any command taking <dir>):
   --cache-blocks N   block-cache capacity (0 = off, the paper's cost model)
   --cache-shards N   cache mutex shards (0 = auto from capacity)
-  --coalesce on|off  group history reads by block (default on)";
+  --coalesce on|off  group history reads by block (default on)
+write-path flags (any command taking <dir>):
+  --pipeline on|off          pipelined block commit (default off, the
+                             paper's cost model; byte-identical either way)
+  --wal-group-commit on|off  coalesce concurrent kvstore writers into one
+                             WAL append+fsync (default off)";
 
 fn led(e: fabric_ledger::Error) -> String {
     e.to_string()
@@ -60,6 +65,21 @@ fn config_from(args: &Args) -> Result<LedgerConfig, String> {
         None | Some("on") => {}
         Some("off") => config.coalesce_history = false,
         Some(other) => return Err(format!("--coalesce must be on|off, got '{other}'")),
+    }
+    match args.opt("pipeline") {
+        None | Some("off") => {}
+        Some("on") => config.pipeline = true,
+        Some(other) => return Err(format!("--pipeline must be on|off, got '{other}'")),
+    }
+    match args.opt("wal-group-commit") {
+        None | Some("off") => {}
+        Some("on") => {
+            config.state_db.group_commit = true;
+            config.index_db.group_commit = true;
+        }
+        Some(other) => {
+            return Err(format!("--wal-group-commit must be on|off, got '{other}'"));
+        }
     }
     Ok(config)
 }
@@ -558,8 +578,10 @@ fn index(args: &Args) -> CliResult {
         .into_iter()
         .filter_map(|(k, _)| EntityId::from_key(&k))
         .collect();
+    let threads = args.opt_u64("m1-index-threads")?.unwrap_or(1) as usize;
     let strategy = FixedLength { u };
     let report = M1Indexer::fixed(&strategy)
+        .with_threads(threads)
         .run_epoch(&ledger, &keys, Interval::new(from, to))
         .map_err(led)?;
     println!(
@@ -667,6 +689,32 @@ mod tests {
         run(&["history", dir.s(), "S00000", "--coalesce", "off"]).unwrap();
         assert!(run(&["join", dir.s(), "0", "5000", "--coalesce", "maybe"]).is_err());
         assert!(run(&["join", dir.s(), "0", "5000", "--cache-blocks", "x"]).is_err());
+    }
+
+    #[test]
+    fn write_path_flags_are_accepted_and_validated() {
+        let dir = TempDir::new("writepath");
+        // Pipelined + group-commit ingest, then read back serially: the
+        // pipelined path must leave a fully valid ledger behind.
+        run(&[
+            "demo",
+            dir.s(),
+            "ds3",
+            "--scale",
+            "400",
+            "--pipeline",
+            "on",
+            "--wal-group-commit",
+            "on",
+        ])
+        .unwrap();
+        run(&["verify", dir.s()]).unwrap();
+        run(&["join", dir.s(), "0", "5000"]).unwrap();
+        // Parallel M1 build through the flag.
+        run(&["index", dir.s(), "--u", "2000", "--m1-index-threads", "4"]).unwrap();
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        assert!(run(&["info", dir.s(), "--pipeline", "maybe"]).is_err());
+        assert!(run(&["info", dir.s(), "--wal-group-commit", "2"]).is_err());
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct Options {
     /// Trigger a full merge compaction when the number of live SSTables
     /// reaches this count. Zero disables automatic compaction.
     pub compaction_trigger: usize,
+    /// Coalesce concurrent [`crate::KvStore::write`] callers into one WAL
+    /// append + fsync (leader/follower group commit). Sequential callers
+    /// behave exactly as without it; the win is for many writer threads
+    /// with `sync_wal` on, where N writers pay one fsync instead of N.
+    pub group_commit: bool,
 }
 
 impl Default for Options {
@@ -31,6 +36,7 @@ impl Default for Options {
             sparse_index_interval: 16,
             bloom_bits_per_key: 10,
             compaction_trigger: 8,
+            group_commit: false,
         }
     }
 }
@@ -45,6 +51,7 @@ impl Options {
             sparse_index_interval: 4,
             bloom_bits_per_key: 10,
             compaction_trigger: 4,
+            group_commit: false,
         }
     }
 }

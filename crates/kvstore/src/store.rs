@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use fabric_telemetry::Telemetry;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
 use crate::error::{Error, Result};
@@ -53,6 +53,50 @@ pub struct KvStore {
     inner: RwLock<Inner>,
     metrics: Metrics,
     tel: Telemetry,
+    /// Leader/follower queue for [`Options::group_commit`].
+    group: GroupCommit,
+    /// Serializes compactions so the merge can run outside the writer lock
+    /// without two merges racing over the same input tables.
+    compaction_gate: Mutex<()>,
+}
+
+/// Shared state of the group-commit path: writers enqueue their batch, the
+/// first to find no leader running drains the queue and commits it as one
+/// WAL append + fsync. Uses std primitives (not `parking_lot`) because the
+/// queue needs a condvar paired with its mutex guard.
+#[derive(Default)]
+struct GroupCommit {
+    state: std::sync::Mutex<GroupState>,
+    cond: std::sync::Condvar,
+}
+
+#[derive(Default)]
+struct GroupState {
+    pending: Vec<PendingWrite>,
+    leader_running: bool,
+}
+
+struct PendingWrite {
+    batch: WriteBatch,
+    slot: Arc<WriteSlot>,
+}
+
+/// Per-waiter result cell, filled by the leader that commits the batch.
+#[derive(Default)]
+struct WriteSlot(Mutex<Option<Result<()>>>);
+
+/// Create a WAL at a freshly allocated file number. A crash between
+/// allocating the number and persisting the manifest can leave an orphan
+/// file at this path from a previous process; it was never referenced by
+/// any manifest, so it is explicitly discarded here — [`Wal::create`]
+/// itself refuses to touch an existing file.
+fn create_fresh_wal(dir: &Path, num: u64, sync: bool) -> Result<Wal> {
+    let path = wal_path(dir, num);
+    if path.exists() {
+        std::fs::remove_file(&path)
+            .map_err(|e| Error::io(format!("removing orphan wal {}", path.display()), e))?;
+    }
+    Wal::create(path, sync)
 }
 
 impl std::fmt::Debug for KvStore {
@@ -108,7 +152,7 @@ impl KvStore {
         }
         let new_wal_num = next_file;
         next_file += 1;
-        let mut wal = Wal::create(wal_path(&dir, new_wal_num), options.sync_wal)?;
+        let mut wal = create_fresh_wal(&dir, new_wal_num, options.sync_wal)?;
         // Re-log replayed entries so the old WAL can be dropped.
         if !memtable.is_empty() {
             let mut batch = WriteBatch::new();
@@ -133,6 +177,8 @@ impl KvStore {
             }),
             metrics: Metrics::default(),
             tel,
+            group: GroupCommit::default(),
+            compaction_gate: Mutex::new(()),
         };
         store.write_manifest(&store.inner.read())?;
         if old_wal.exists() && old_wal != wal_path(&dir, new_wal_num) {
@@ -204,10 +250,14 @@ impl KvStore {
     }
 
     /// Apply a batch atomically: logged as one WAL record, applied to the
-    /// memtable under one lock.
+    /// memtable under one lock. With [`Options::group_commit`] enabled,
+    /// concurrent callers are coalesced into one WAL append + fsync.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
+        }
+        if self.options.group_commit {
+            return self.write_grouped(batch);
         }
         let puts = batch
             .iter()
@@ -229,15 +279,193 @@ impl KvStore {
         Metrics::add(&self.metrics.puts, puts as u64);
         Metrics::add(&self.metrics.deletes, dels as u64);
         Self::apply_to_memtable(&mut inner.memtable, batch);
-        if inner.memtable.approx_bytes() >= self.options.memtable_max_bytes {
-            self.flush_locked(&mut inner)?;
-            if self.options.compaction_trigger > 0
-                && inner.tables.len() >= self.options.compaction_trigger
-            {
-                self.compact_locked(&mut inner)?;
+        let wants_compaction = self.maybe_flush_locked(&mut inner)?;
+        drop(inner);
+        self.compact_if_wanted(wants_compaction)
+    }
+
+    /// Apply several batches as one durability unit: all batches are
+    /// logged in one WAL append (one fsync with [`Options::sync_wal`]) and
+    /// applied to the memtable in order. The WAL frames and the resulting
+    /// store contents are exactly those of [`KvStore::write`] called once
+    /// per batch — only the fsync count differs. This is group commit for
+    /// a *single* caller with a backlog: the ledger's pipelined commit
+    /// workers use it to amortise fsyncs over queued blocks.
+    pub fn write_many(&self, batches: Vec<WriteBatch>) -> Result<()> {
+        let mut batches: Vec<WriteBatch> = batches.into_iter().filter(|b| !b.is_empty()).collect();
+        if batches.len() < 2 {
+            return match batches.pop() {
+                Some(batch) => self.write(batch),
+                None => Ok(()),
+            };
+        }
+        let mut inner = self.inner.write();
+        Metrics::incr(&self.metrics.group_commits);
+        Metrics::add(&self.metrics.group_commit_batches, batches.len() as u64);
+        let payloads: Vec<Vec<u8>> = batches.iter().map(|b| b.encode()).collect();
+        let bytes = {
+            let mut span = self.tel.span("kv.wal.append");
+            let bytes = inner.wal.append_group(&payloads)?;
+            span.record("bytes", bytes);
+            bytes
+        };
+        Metrics::add(&self.metrics.bytes_wal, bytes);
+        if self.options.sync_wal {
+            Metrics::incr(&self.metrics.wal_fsyncs);
+            self.tel.count("kv.wal.fsyncs", 1);
+        }
+        for batch in batches {
+            let puts = batch
+                .iter()
+                .filter(|op| matches!(op, BatchOp::Put { .. }))
+                .count();
+            Metrics::add(&self.metrics.puts, puts as u64);
+            Metrics::add(&self.metrics.deletes, (batch.len() - puts) as u64);
+            Self::apply_to_memtable(&mut inner.memtable, batch);
+        }
+        let wants_compaction = self.maybe_flush_locked(&mut inner)?;
+        drop(inner);
+        self.compact_if_wanted(wants_compaction)
+    }
+
+    /// Flush when the memtable is over its cap. Returns whether the flush
+    /// brought the table count up to the compaction trigger; the caller
+    /// must release the writer lock before acting on it.
+    fn maybe_flush_locked(&self, inner: &mut Inner) -> Result<bool> {
+        if inner.memtable.approx_bytes() < self.options.memtable_max_bytes {
+            return Ok(false);
+        }
+        self.flush_locked(inner)?;
+        Ok(self.options.compaction_trigger > 0
+            && inner.tables.len() >= self.options.compaction_trigger)
+    }
+
+    /// Run a compaction with the writer lock **released**. `try_lock`
+    /// keeps this automatic path single-flight: if another thread is
+    /// already compacting, this one moves on.
+    fn compact_if_wanted(&self, wanted: bool) -> Result<()> {
+        if wanted {
+            if let Some(_gate) = self.compaction_gate.try_lock() {
+                self.compact_gated()?;
             }
         }
         Ok(())
+    }
+
+    /// Group-commit front door: enqueue the batch, then either become the
+    /// leader (no leader running) and commit the whole queue, or wait for
+    /// a leader to fill this batch's result slot.
+    fn write_grouped(&self, batch: WriteBatch) -> Result<()> {
+        let slot = Arc::new(WriteSlot::default());
+        let mut state = self.group.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.pending.push(PendingWrite {
+            batch,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            if !state.leader_running {
+                state.leader_running = true;
+                let work = std::mem::take(&mut state.pending);
+                drop(state);
+                self.run_group(work);
+                self.group
+                    .state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .leader_running = false;
+                self.group.cond.notify_all();
+                return slot
+                    .0
+                    .lock()
+                    .take()
+                    .expect("leader fills every slot it drained, including its own");
+            }
+            state = self
+                .group
+                .cond
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(result) = slot.0.lock().take() {
+                return result;
+            }
+            // Woken but not served: this batch arrived after the running
+            // leader drained the queue. Loop — we may be the next leader.
+        }
+    }
+
+    /// Leader body of the group-commit path: append every queued batch in
+    /// one WAL write (one fsync), then apply them to the memtable in queue
+    /// order. Fills every waiter's result slot; never returns an error —
+    /// failures fan out to the waiters instead.
+    fn run_group(&self, work: Vec<PendingWrite>) {
+        let mut inner = self.inner.write();
+        Metrics::incr(&self.metrics.group_commits);
+        Metrics::add(&self.metrics.group_commit_batches, work.len() as u64);
+        let payloads: Vec<Vec<u8>> = work.iter().map(|w| w.batch.encode()).collect();
+        let appended = {
+            let mut span = self.tel.span("kv.wal.append");
+            let result = inner.wal.append_group(&payloads);
+            if let Ok(bytes) = &result {
+                span.record("bytes", *bytes);
+            }
+            result
+        };
+        let bytes = match appended {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                drop(inner);
+                // Nothing in this group is durable; fail every waiter.
+                // `Error` is not `Clone`, so each gets a formatted copy.
+                let msg = e.to_string();
+                for w in work {
+                    *w.slot.0.lock() = Some(Err(Error::io(
+                        "group commit".to_string(),
+                        std::io::Error::other(msg.clone()),
+                    )));
+                }
+                return;
+            }
+        };
+        Metrics::add(&self.metrics.bytes_wal, bytes);
+        if self.options.sync_wal {
+            Metrics::incr(&self.metrics.wal_fsyncs);
+            self.tel.count("kv.wal.fsyncs", 1);
+        }
+        let mut slots = Vec::with_capacity(work.len());
+        for w in work {
+            let puts = w
+                .batch
+                .iter()
+                .filter(|op| matches!(op, BatchOp::Put { .. }))
+                .count();
+            Metrics::add(&self.metrics.puts, puts as u64);
+            Metrics::add(&self.metrics.deletes, (w.batch.len() - puts) as u64);
+            Self::apply_to_memtable(&mut inner.memtable, w.batch);
+            slots.push(w.slot);
+        }
+        // Flush/compact exactly as a serial writer would. A failure here is
+        // reported to every waiter: their records are durable in the WAL,
+        // but the store may be wedged — same contract as the serial path.
+        let tail = self.maybe_flush_locked(&mut inner).and_then(|wanted| {
+            drop(inner);
+            self.compact_if_wanted(wanted)
+        });
+        match tail {
+            Ok(()) => {
+                for s in slots {
+                    *s.0.lock() = Some(Ok(()));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for s in slots {
+                    *s.0.lock() = Some(Err(Error::io(
+                        "group commit flush".to_string(),
+                        std::io::Error::other(msg.clone()),
+                    )));
+                }
+            }
+        }
     }
 
     /// Point lookup.
@@ -368,7 +596,7 @@ impl KvStore {
         let old_wal = wal_path(&self.dir, inner.wal_num);
         let new_wal_num = inner.next_file;
         inner.next_file += 1;
-        inner.wal = Wal::create(wal_path(&self.dir, new_wal_num), self.options.sync_wal)?;
+        inner.wal = create_fresh_wal(&self.dir, new_wal_num, self.options.sync_wal)?;
         inner.wal_num = new_wal_num;
         self.write_manifest(inner)?;
         let _ = std::fs::remove_file(old_wal);
@@ -377,28 +605,45 @@ impl KvStore {
 
     /// Merge every SSTable into one, dropping shadowed versions and
     /// tombstones (safe: a full merge leaves nothing older underneath).
+    ///
+    /// The merge itself runs **without** the writer lock, so concurrent
+    /// readers and writers proceed; only the snapshot at the start and the
+    /// table swap at the end take the lock briefly.
     pub fn compact(&self) -> Result<()> {
-        let mut inner = self.inner.write();
-        self.compact_locked(&mut inner)
+        let _gate = self.compaction_gate.lock();
+        self.compact_gated()
     }
 
-    fn compact_locked(&self, inner: &mut Inner) -> Result<()> {
-        if inner.tables.len() <= 1 {
-            return Ok(());
-        }
+    /// Compaction body; caller must hold `compaction_gate` and must NOT
+    /// hold the `inner` lock.
+    fn compact_gated(&self) -> Result<()> {
+        // Phase 1 (brief write lock): snapshot the live tables and reserve
+        // an output file number. `tables` is oldest-first and flushes only
+        // append, so the snapshot is a stable bottom prefix of the stack —
+        // dropping tombstones from its merge stays safe because nothing
+        // older can exist beneath it.
+        let (snap_tables, snap_nums, out_num) = {
+            let mut inner = self.inner.write();
+            if inner.tables.len() <= 1 {
+                return Ok(());
+            }
+            let num = inner.next_file;
+            inner.next_file += 1;
+            (inner.tables.clone(), inner.table_nums.clone(), num)
+        };
         let mut span = self.tel.span("kv.compaction");
-        // Input size: every live table is read in full during the merge.
-        let bytes_read: u64 = inner
-            .table_nums
+        // Input size: every snapshot table is read in full during the merge.
+        let bytes_read: u64 = snap_nums
             .iter()
             .filter_map(|&n| std::fs::metadata(sst_path(&self.dir, n)).ok())
             .map(|m| m.len())
             .sum();
         Metrics::add(&self.metrics.compaction_bytes_read, bytes_read);
         span.record("bytes_read", bytes_read);
-        let num = inner.next_file;
-        inner.next_file += 1;
-        let path = sst_path(&self.dir, num);
+        // Phase 2 (no lock): merge the snapshot into one table. A crash
+        // here leaves an orphan .sst never named by any manifest; the next
+        // writer of that number truncates it (`SsTableWriter::create`).
+        let path = sst_path(&self.dir, out_num);
         let mut writer = SsTableWriter::create(
             &path,
             self.options.sparse_index_interval,
@@ -406,8 +651,7 @@ impl KvStore {
         )?;
         {
             // Newest-first sources; exclude the memtable (it stays live).
-            let sources: Vec<Box<dyn EntrySource + Send>> = inner
-                .tables
+            let sources: Vec<Box<dyn EntrySource + Send>> = snap_tables
                 .iter()
                 .rev()
                 .map(|t| t.iter().map(|i| Box::new(i) as Box<dyn EntrySource + Send>))
@@ -422,11 +666,20 @@ impl KvStore {
         Metrics::add(&self.metrics.bytes_flushed, bytes);
         Metrics::add(&self.metrics.compaction_bytes_written, bytes);
         Metrics::incr(&self.metrics.compactions);
-        let old_nums = std::mem::take(&mut inner.table_nums);
-        inner.tables = vec![SsTableReader::open(&path)?];
-        inner.table_nums = vec![num];
-        self.write_manifest(inner)?;
-        for old in old_nums {
+        let merged = SsTableReader::open(&path)?;
+        // Phase 3 (brief write lock): swap the snapshot prefix for the
+        // merged table. Tables flushed during the merge stay stacked on
+        // top, in order.
+        {
+            let mut inner = self.inner.write();
+            debug_assert_eq!(inner.table_nums[..snap_nums.len()], snap_nums[..]);
+            let newer_tables = inner.tables.split_off(snap_tables.len());
+            let newer_nums = inner.table_nums.split_off(snap_nums.len());
+            inner.tables = std::iter::once(merged).chain(newer_tables).collect();
+            inner.table_nums = std::iter::once(out_num).chain(newer_nums).collect();
+            self.write_manifest(&inner)?;
+        }
+        for old in snap_nums {
             let _ = std::fs::remove_file(sst_path(&self.dir, old));
         }
         Ok(())
@@ -1016,6 +1269,310 @@ mod tests {
             db.checkpoint(&dest).is_err(),
             "second checkpoint must refuse"
         );
+    }
+
+    #[test]
+    fn group_commit_sequential_writes_match_serial_fsyncs() {
+        let dir = TempDir::new("group-seq");
+        let mut opts = Options::small_for_tests();
+        opts.sync_wal = true;
+        opts.group_commit = true;
+        let db = KvStore::open(&dir.0, opts).unwrap();
+        db.put(&b"a"[..], &b"1"[..]).unwrap();
+        db.put(&b"b"[..], &b"2"[..]).unwrap();
+        let m = db.metrics();
+        // Sequential callers never coalesce: one leader round (and one
+        // fsync) per write, exactly like the serial path.
+        assert_eq!(m.wal_fsyncs, 2);
+        assert_eq!(m.group_commits, 2);
+        assert_eq!(m.group_commit_batches, 2);
+        assert_eq!(db.get(b"a").unwrap().unwrap(), &b"1"[..]);
+        assert_eq!(db.get(b"b").unwrap().unwrap(), &b"2"[..]);
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_writers() {
+        let dir = TempDir::new("group-conc");
+        let opts = Options {
+            sync_wal: true,
+            group_commit: true,
+            ..Options::default()
+        };
+        let db = std::sync::Arc::new(KvStore::open(&dir.0, opts).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    db.put(format!("t{t}-k{i}"), format!("v{i}")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let m = db.metrics();
+        assert_eq!(m.group_commit_batches, 400);
+        assert!(m.group_commits >= 1 && m.group_commits <= 400);
+        // One fsync per leader round — never more than one per batch.
+        assert_eq!(m.wal_fsyncs, m.group_commits);
+        assert_eq!(m.puts, 400);
+        for t in 0..8 {
+            for i in 0..50 {
+                let key = format!("t{t}-k{i}");
+                assert_eq!(
+                    db.get(key.as_bytes()).unwrap().unwrap(),
+                    format!("v{i}"),
+                    "{key} lost"
+                );
+            }
+        }
+    }
+
+    /// Crash-recovery property for group commit: after a torn tail (a
+    /// record that was being appended when the process died, never
+    /// acknowledged), replay yields exactly the acknowledged writes.
+    fn group_commit_crash_recovery(sync_wal: bool, tag: &str) {
+        let dir = TempDir::new(tag);
+        let opts = Options {
+            sync_wal,
+            group_commit: true,
+            ..Options::default()
+        };
+        {
+            let db = std::sync::Arc::new(KvStore::open(&dir.0, opts.clone()).unwrap());
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let db = db.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..25 {
+                        db.put(format!("t{t}-k{i}"), format!("v{i}")).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Simulate the crash mid-append: frame a valid record for a
+            // batch that was never acknowledged, chop its tail, and append
+            // it to the live WAL by hand.
+            let wal_file = std::fs::read_dir(&dir.0)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+                .max()
+                .unwrap();
+            let mut unacked = WriteBatch::new();
+            unacked.put(&b"torn-key"[..], &b"never-acked"[..]);
+            let payload = unacked.encode();
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            let crc = crate::crc32::crc32(&frame);
+            let mut record = Vec::new();
+            record.extend_from_slice(&crc.to_le_bytes());
+            record.extend_from_slice(&frame);
+            record.truncate(record.len() - 3); // torn tail
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&wal_file)
+                .unwrap();
+            f.write_all(&record).unwrap();
+            // `db` dropped without any shutdown: the "crash".
+        }
+        let db = KvStore::open(&dir.0, opts).unwrap();
+        for t in 0..4 {
+            for i in 0..25 {
+                let key = format!("t{t}-k{i}");
+                assert_eq!(
+                    db.get(key.as_bytes()).unwrap().unwrap(),
+                    format!("v{i}"),
+                    "acknowledged write {key} lost"
+                );
+            }
+        }
+        assert!(
+            db.get(b"torn-key").unwrap().is_none(),
+            "unacknowledged torn write must not replay"
+        );
+        db.put(&b"post-crash"[..], &b"ok"[..]).unwrap();
+        assert_eq!(db.get(b"post-crash").unwrap().unwrap(), &b"ok"[..]);
+    }
+
+    #[test]
+    fn group_commit_crash_recovery_sync() {
+        group_commit_crash_recovery(true, "group-crash-sync");
+    }
+
+    #[test]
+    fn group_commit_crash_recovery_nosync() {
+        group_commit_crash_recovery(false, "group-crash-nosync");
+    }
+
+    #[test]
+    fn reads_and_writes_proceed_during_compaction() {
+        let dir = TempDir::new("compact-concurrent");
+        let mut opts = Options::small_for_tests();
+        opts.compaction_trigger = 0; // manual compaction only
+        let db = std::sync::Arc::new(KvStore::open(&dir.0, opts).unwrap());
+        for round in 0..6 {
+            for i in 0..200 {
+                db.put(format!("key{i:04}"), format!("round{round}"))
+                    .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert!(db.table_count() >= 6);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let db = db.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for i in (0..200).step_by(17) {
+                        let k = format!("key{i:04}");
+                        assert!(
+                            db.get(k.as_bytes()).unwrap().is_some(),
+                            "{k} vanished mid-compaction"
+                        );
+                        reads += 1;
+                    }
+                }
+                reads
+            })
+        };
+        let writer = {
+            let db = db.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    db.put(format!("new-{i:06}"), &b"x"[..]).unwrap();
+                    i += 1;
+                }
+                i
+            })
+        };
+        db.compact().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let reads = reader.join().unwrap();
+        let writes = writer.join().unwrap();
+        assert!(reads > 0);
+        // Every key written during the merge survives the table swap.
+        for i in 0..writes {
+            let k = format!("new-{i:06}");
+            assert!(
+                db.get(k.as_bytes()).unwrap().is_some(),
+                "{k} lost in compaction swap"
+            );
+        }
+        for i in 0..200 {
+            let k = format!("key{i:04}");
+            assert_eq!(db.get(k.as_bytes()).unwrap().unwrap(), &b"round5"[..]);
+        }
+    }
+
+    #[test]
+    fn open_discards_orphan_wal_from_crashed_rotation() {
+        let dir = TempDir::new("orphan-wal");
+        {
+            let db = open(&dir);
+            db.put(&b"live"[..], &b"1"[..]).unwrap();
+        }
+        // A crash between allocating a WAL number and writing the manifest
+        // leaves an unreferenced file at `next`. Fabricate garbage there;
+        // the next open must discard it rather than refuse or replay it.
+        let manifest = std::fs::read_to_string(dir.0.join("MANIFEST")).unwrap();
+        let next: u64 = manifest
+            .lines()
+            .find_map(|l| l.strip_prefix("next "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        std::fs::write(dir.0.join(format!("{next:06}.wal")), b"garbage orphan").unwrap();
+        let db = open(&dir);
+        assert_eq!(db.get(b"live").unwrap().unwrap(), &b"1"[..]);
+        db.put(&b"after"[..], &b"2"[..]).unwrap();
+        assert_eq!(db.get(b"after").unwrap().unwrap(), &b"2"[..]);
+    }
+
+    #[test]
+    fn write_many_matches_sequential_writes() {
+        // The coalesced path must leave the store (and its WAL bytes)
+        // exactly as N sequential writes would — only the fsync count may
+        // differ.
+        let batches = || -> Vec<WriteBatch> {
+            (0..5)
+                .map(|i| {
+                    let mut b = WriteBatch::new();
+                    b.put(format!("k{i}"), format!("v{i}"));
+                    if i > 0 {
+                        b.delete(format!("k{}", i - 1));
+                    }
+                    b
+                })
+                .collect()
+        };
+        let seq_dir = TempDir::new("wm-seq");
+        let many_dir = TempDir::new("wm-many");
+        let opts = || Options {
+            sync_wal: true,
+            ..Options::small_for_tests()
+        };
+        {
+            let db = KvStore::open(&seq_dir.0, opts()).unwrap();
+            for b in batches() {
+                db.write(b).unwrap();
+            }
+        }
+        {
+            let db = KvStore::open(&many_dir.0, opts()).unwrap();
+            db.write_many(batches()).unwrap();
+            let m = db.metrics();
+            assert_eq!(m.wal_fsyncs, 1, "one fsync covers the whole backlog");
+            assert_eq!(m.group_commits, 1);
+            assert_eq!(m.group_commit_batches, 5);
+        }
+        let wal_bytes = |dir: &TempDir| {
+            let mut names: Vec<_> = std::fs::read_dir(&dir.0)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+                .collect();
+            names.sort();
+            names
+                .iter()
+                .flat_map(|p| std::fs::read(p).unwrap())
+                .collect::<Vec<u8>>()
+        };
+        let (seq_wal, many_wal) = (wal_bytes(&seq_dir), wal_bytes(&many_dir));
+        assert!(!seq_wal.is_empty(), "sequential WAL must not be empty");
+        assert_eq!(
+            seq_wal, many_wal,
+            "write_many must log byte-identical WAL frames"
+        );
+        // Reopen the coalesced store: every batch replays.
+        let db = KvStore::open(&many_dir.0, opts()).unwrap();
+        assert_eq!(db.get(b"k4").unwrap().unwrap(), &b"v4"[..]);
+        assert!(db.get(b"k3").unwrap().is_none(), "delete in later batch");
+    }
+
+    #[test]
+    fn write_many_handles_empty_and_singleton() {
+        let dir = TempDir::new("wm-edge");
+        let db = open(&dir);
+        db.write_many(Vec::new()).unwrap();
+        db.write_many(vec![WriteBatch::new()]).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(&b"solo"[..], &b"v"[..]);
+        db.write_many(vec![WriteBatch::new(), b]).unwrap();
+        assert_eq!(db.get(b"solo").unwrap().unwrap(), &b"v"[..]);
+        // A singleton degrades to the plain write path: no group metrics.
+        assert_eq!(db.metrics().group_commits, 0);
     }
 
     #[test]

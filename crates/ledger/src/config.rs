@@ -21,6 +21,16 @@ pub struct LedgerConfig {
     /// derives a count from `cache_blocks` (small caches stay
     /// single-shard); set explicitly when benchmarking shard effects.
     pub cache_shards: usize,
+    /// Commit blocks through the multi-stage pipeline (stage A validates
+    /// and assembles on the caller thread; blockfile append, history/tx
+    /// indexing and state-db apply run on dedicated worker threads, with
+    /// the index and state stages in parallel). **Off by default**: the
+    /// serial path is the paper's cost model. The pipelined path is
+    /// byte-identical — same block hashes, same blockfile bytes, same
+    /// state-db contents — it only overlaps the stages in time. Callers
+    /// that read their own writes must [`crate::Ledger::drain_commits`]
+    /// first.
+    pub pipeline: bool,
     /// Group history locations by block so each block is read and decoded
     /// at most once per GHFK scan (on by default). Turning this off
     /// restores the per-location read path — one block fetch per
@@ -43,6 +53,7 @@ impl Default for LedgerConfig {
             blockfile_max_bytes: 64 << 20,
             cache_blocks: 0,
             cache_shards: 0,
+            pipeline: false,
             coalesce_history: true,
             state_db: KvOptions::default(),
             index_db: KvOptions::default(),
@@ -59,6 +70,7 @@ impl LedgerConfig {
             blockfile_max_bytes: 8 << 10,
             cache_blocks: 0,
             cache_shards: 0,
+            pipeline: false,
             coalesce_history: true,
             state_db: KvOptions::small_for_tests(),
             index_db: KvOptions::small_for_tests(),
@@ -88,6 +100,12 @@ impl LedgerConfig {
         self.coalesce_history = on;
         self
     }
+
+    /// Builder-style setter for [`LedgerConfig::pipeline`].
+    pub fn with_pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +119,7 @@ mod tests {
         assert_eq!(c.cache_blocks, 0, "cache must default to off");
         assert_eq!(c.cache_shards, 0, "shard count must default to auto");
         assert!(c.coalesce_history, "coalescing is on by default");
+        assert!(!c.pipeline, "serial commit is the paper's cost model");
     }
 
     #[test]
@@ -109,10 +128,12 @@ mod tests {
             .with_block_max_txs(50)
             .with_cache_blocks(16)
             .with_cache_shards(4)
-            .with_coalesce_history(false);
+            .with_coalesce_history(false)
+            .with_pipeline(true);
         assert_eq!(c.block_max_txs, 50);
         assert_eq!(c.cache_blocks, 16);
         assert_eq!(c.cache_shards, 4);
         assert!(!c.coalesce_history);
+        assert!(c.pipeline);
     }
 }
