@@ -19,9 +19,11 @@ use temporal_core::partition::FixedLength;
 use temporal_core::SimCostModel;
 
 /// On-disk format tag written into each cached ledger's `COMPLETE` marker.
-/// Bump whenever the block codec changes shape (v2: per-tx offset table)
-/// so stale `target/bench-data` ledgers rebuild instead of failing.
-pub const CACHE_FORMAT: &str = "v2";
+/// Bump whenever the block codec or index layout changes shape (v2: per-tx
+/// offset table; v3: timestamped history index, which the cost-based
+/// planner reads) so stale `target/bench-data` ledgers rebuild instead of
+/// failing or silently degrading planner bounds.
+pub const CACHE_FORMAT: &str = "v3";
 
 /// Harness context: scaling factor, cache root, simulated cost model.
 #[derive(Debug, Clone)]

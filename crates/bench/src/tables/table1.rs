@@ -11,8 +11,12 @@ use fabric_workload::ingest::IngestMode;
 use temporal_core::join::ferry_query;
 use temporal_core::m1::M1Engine;
 use temporal_core::m2::M2Engine;
+use temporal_core::parallel::{ferry_query_parallel, SLOT_CAPACITY};
 use temporal_core::tqf::TqfEngine;
-use temporal_core::TemporalEngine;
+use temporal_core::{AutoEngine, TemporalEngine};
+
+/// Worker-pool width for the parallel-streaming ablation row.
+const PARALLEL_WORKERS: usize = 4;
 
 use crate::harness::{fmt_secs, with_telemetry, Ctx, TableOut};
 use crate::regress::{bench_file_from_samples, MetricKind};
@@ -106,6 +110,9 @@ pub fn run(ctx: &Ctx) -> Result<String> {
     // Raw samples for the machine-readable bench file: one entry per
     // (dataset/mode/engine/metric) per window, reduced to medians at the end.
     let mut samples: Vec<(String, MetricKind, f64)> = Vec::new();
+    // Parallel-ablation samples, collected separately because the `sample`
+    // closure below holds the mutable borrow of `samples`; merged at the end.
+    let mut parallel_samples: Vec<(String, MetricKind, f64)> = Vec::new();
     let mut sample = |id: DatasetId, mode: IngestMode, engine: &str, cell: &Cell| {
         let prefix = format!("{id}/{mode}/{engine}").to_lowercase();
         samples.push((
@@ -162,6 +169,8 @@ pub fn run(ctx: &Ctx) -> Result<String> {
             "M1 GHFK (calls)".to_string(),
             "TQF Join".to_string(),
             "TQF GHFK (calls)".to_string(),
+            "Auto Join".to_string(),
+            "Auto GHFK (calls)".to_string(),
         ];
         for (u_paper, _) in &m2_ledgers {
             headers.push(format!("M2(u≈{u_paper}) Join"));
@@ -235,6 +244,38 @@ pub fn run(ctx: &Ctx) -> Result<String> {
                 tqf.records.to_string(),
             ]);
 
+            // Planner ablation: auto runs on the same base+M1 ledger and
+            // must never deserialize more blocks than the better of the
+            // two fixed engines it chooses between.
+            let (auto, snap) = run_engine(ctx, &AutoEngine, &m1_ledger, tau)?;
+            if let Some(snap) = snap {
+                jsonl.push_str(&telemetry_line(snap, id, mode, "Auto", tau, &auto));
+                jsonl.push('\n');
+            }
+            sample(id, mode, "auto", &auto);
+            push_cell(&auto, &mut row);
+            record_counts.push(auto.records);
+            assert!(
+                auto.blocks <= m1.blocks.min(tqf.blocks),
+                "auto planner read {} blocks on {id} {tau}, best fixed engine {}",
+                auto.blocks,
+                m1.blocks.min(tqf.blocks)
+            );
+            csv.row(vec![
+                id.to_string(),
+                mode.to_string(),
+                "Auto".into(),
+                tau.start.to_string(),
+                tau.end.to_string(),
+                auto.join_wall.as_secs_f64().to_string(),
+                auto.ghfk_wall.as_secs_f64().to_string(),
+                auto.ghfk_calls.to_string(),
+                auto.blocks.to_string(),
+                auto.txs_decoded.to_string(),
+                format!("{:.3}", auto.sim_secs),
+                auto.records.to_string(),
+            ]);
+
             for (u_paper, ledger) in &m2_ledgers {
                 let u = ctx.scale_time(id, *u_paper);
                 let (m2, snap) = run_engine(ctx, &M2Engine { u }, ledger, tau)?;
@@ -278,8 +319,51 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         report.push_str(&format!("## Dataset {id}, ingestion with {mode}\n\n"));
         report.push_str(&table.to_markdown());
         report.push('\n');
+
+        // Parallel-streaming ablation over the whole timeline: the bounded
+        // cursor fan-out must agree with the serial join and keep its
+        // in-flight buffering within the per-slot channel bound.
+        let full = temporal_core::Interval::new(0, ctx.t_max(id));
+        let key_count = ctx.workload(id).keys().len();
+        let serial = ferry_query(&M1Engine::default(), &m1_ledger, full)?;
+        let par = ferry_query_parallel(&M1Engine::default(), &m1_ledger, full, PARALLEL_WORKERS)?;
+        assert_eq!(
+            serial.records, par.records,
+            "parallel join diverged from serial on {id}"
+        );
+        assert!(
+            par.peak_buffered_events <= SLOT_CAPACITY * key_count,
+            "peak buffered events {} exceed bound {} on {id}",
+            par.peak_buffered_events,
+            SLOT_CAPACITY * key_count
+        );
+        let prefix = format!("{id}/{mode}/parallel-m1").to_lowercase();
+        parallel_samples.push((
+            format!("{prefix}/join_s"),
+            MetricKind::Time,
+            par.stats.wall.as_secs_f64(),
+        ));
+        parallel_samples.push((
+            format!("{prefix}/records"),
+            MetricKind::Counter,
+            par.records.len() as f64,
+        ));
+        parallel_samples.push((
+            format!("{prefix}/peak_buffered_events"),
+            MetricKind::Counter,
+            par.peak_buffered_events as f64,
+        ));
+        report.push_str(&format!(
+            "Parallel streaming ({PARALLEL_WORKERS} workers, full window): \
+             {} record(s) in {}, peak {} buffered event(s) (bound {})\n\n",
+            par.records.len(),
+            fmt_secs(par.stats.wall),
+            par.peak_buffered_events,
+            SLOT_CAPACITY * key_count
+        ));
     }
     ctx.save_result("table1.csv", &csv.to_csv());
+    samples.extend(parallel_samples);
     if ctx.json_out.is_some() {
         ctx.save_bench_file(&bench_file_from_samples("table1", ctx.machine(), &samples));
     }

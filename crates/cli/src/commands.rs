@@ -10,7 +10,7 @@ use temporal_core::m1::{read_meta, M1Engine, M1Indexer};
 use temporal_core::m2::{M2Encoder, M2Engine};
 use temporal_core::partition::FixedLength;
 use temporal_core::tqf::TqfEngine;
-use temporal_core::{explain_analyze, TemporalEngine};
+use temporal_core::{explain_analyze, AutoEngine, TemporalEngine};
 
 use crate::args::Args;
 
@@ -23,12 +23,13 @@ const USAGE: &str = "usage: tfq <command> ...
   block   <dir> <number>
   history <dir> <key>
   tx      <dir> <txid-hex>
-  events  <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
-  join    <dir> <t1> <t2>       [--engine tqf|m1|m2] [--u U]
-  explain <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
-  analyze <dir> <key> <t1> <t2> [--engine tqf|m1|m2] [--u U]
-  stats   <dir> <t1> <t2>       [--engine tqf|m1|m2] [--u U] [--format table|json|csv]
-  trace   <dir> <t1> <t2>       [--key K] [--engine tqf|m1|m2] [--u U]
+  events  <dir> <key> <t1> <t2> [--engine tqf|m1|m2|auto] [--u U]
+  join    <dir> <t1> <t2>       [--engine tqf|m1|m2|auto] [--u U]
+  explain <dir> <key> <t1> <t2> [--engine tqf|m1|m2|auto] [--u U]
+  analyze <dir> <key> <t1> <t2> [--engine tqf|m1|m2|auto] [--u U]
+  plan    <dir> <key> <t1> <t2>
+  stats   <dir> <t1> <t2>       [--engine tqf|m1|m2|auto] [--u U] [--format table|json|csv]
+  trace   <dir> <t1> <t2>       [--key K] [--engine tqf|m1|m2|auto] [--u U]
   index   <dir> --u U [--from T1] [--to T2] [--m1-index-threads N]
   backup  <dir> <dest-dir>
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
@@ -102,6 +103,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("join") => join(&args),
         Some("explain") => explain(&args),
         Some("analyze") => analyze(&args),
+        Some("plan") => plan(&args),
         Some("stats") => stats(&args),
         Some("trace") => trace(&args),
         Some("index") => index(&args),
@@ -334,7 +336,8 @@ fn pick_engine(args: &Args) -> Result<Box<dyn TemporalEngine + Sync>, String> {
                 .ok_or_else(|| "--engine m2 requires --u".to_string())?;
             Ok(Box::new(M2Engine { u }))
         }
-        other => Err(format!("unknown engine '{other}' (tqf|m1|m2)")),
+        "auto" => Ok(Box::new(AutoEngine)),
+        other => Err(format!("unknown engine '{other}' (tqf|m1|m2|auto)")),
     }
 }
 
@@ -417,7 +420,8 @@ fn explain(args: &Args) -> CliResult {
                 .ok_or_else(|| "--engine m2 requires --u".to_string())?;
             M2Engine { u }.explain(&ledger, key, tau)
         }
-        other => return Err(format!("unknown engine '{other}' (tqf|m1|m2)")),
+        "auto" => AutoEngine.explain(&ledger, key, tau),
+        other => return Err(format!("unknown engine '{other}' (tqf|m1|m2|auto)")),
     }
     .map_err(led)?;
     print!("{}", plan.render());
@@ -443,13 +447,24 @@ fn analyze(args: &Args) -> CliResult {
                 .ok_or_else(|| "--engine m2 requires --u".to_string())?;
             explain_analyze(&M2Engine { u }, &ledger, key, tau)
         }
-        other => return Err(format!("unknown engine '{other}' (tqf|m1|m2)")),
+        "auto" => explain_analyze(&AutoEngine, &ledger, key, tau),
+        other => return Err(format!("unknown engine '{other}' (tqf|m1|m2|auto)")),
     }
     .map_err(led)?;
     print!("{}", analyzed.render());
     if !analyzed.within_bounds() {
         return Err("measured cost exceeded the predicted bound".to_string());
     }
+    Ok(())
+}
+
+fn plan(args: &Args) -> CliResult {
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
+    let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
+        .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
+    let tau = parse_tau(args, 3)?;
+    let choice = AutoEngine.choose(&ledger, key, tau).map_err(led)?;
+    print!("{}", choice.render());
     Ok(())
 }
 
@@ -643,10 +658,33 @@ mod tests {
         run(&["history", dir.s(), "S00000"]).unwrap();
         run(&["index", dir.s(), "--u", "2000"]).unwrap();
         run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "auto"]).unwrap();
         run(&["explain", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&[
+            "explain",
+            dir.s(),
+            "S00000",
+            "0",
+            "5000",
+            "--engine",
+            "auto",
+        ])
+        .unwrap();
+        run(&["plan", dir.s(), "S00000", "0", "5000"]).unwrap();
         run(&["join", dir.s(), "0", "5000", "--engine", "tqf"]).unwrap();
+        run(&["join", dir.s(), "0", "5000", "--engine", "auto"]).unwrap();
         run(&["analyze", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
         run(&["analyze", dir.s(), "S00000", "0", "5000", "--engine", "tqf"]).unwrap();
+        run(&[
+            "analyze",
+            dir.s(),
+            "S00000",
+            "0",
+            "5000",
+            "--engine",
+            "auto",
+        ])
+        .unwrap();
         run(&["stats", dir.s(), "0", "5000", "--engine", "tqf"]).unwrap();
         run(&["stats", dir.s(), "0", "5000", "--format", "json"]).unwrap();
         run(&["stats", dir.s(), "0", "5000", "--format", "csv"]).unwrap();
@@ -773,5 +811,7 @@ mod tests {
         assert!(run(&["events", dir.s(), "S00000", "0", "10", "--engine", "m2"]).is_err());
         assert!(run(&["index", dir.s()]).is_err());
         assert!(run(&["tx", dir.s(), "nothex"]).is_err());
+        assert!(run(&["plan", dir.s(), "BADKEY", "0", "10"]).is_err());
+        assert!(run(&["events", dir.s(), "S00000", "0", "10", "--engine", "x"]).is_err());
     }
 }

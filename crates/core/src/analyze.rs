@@ -10,6 +10,13 @@
 //! reports predicted vs measured per plan node — the measured count can
 //! never exceed the prediction, which [`AnalyzedPlan::within_bounds`]
 //! checks and the integration tests assert for all three engines.
+//!
+//! Since the engines execute through streaming cursors, each cursor also
+//! records an *operator* span (`tqf.key`, `m1.key`/`m1.theta`,
+//! `m2.key`/`m2.theta`) that stays open across `next_event` calls. Those
+//! are collected into [`AnalyzedPlan::operators`], attributing wall time,
+//! GHFK calls, and block deserializations to the cursor (and, nested, the
+//! per-interval sub-operator) that caused them.
 
 use std::time::Duration;
 
@@ -34,6 +41,31 @@ pub struct StepMeasurement {
     pub entries: Option<u64>,
 }
 
+/// One operator span recorded by a streaming cursor during execution.
+///
+/// Cursors hold their operator span open for their whole lifetime, so
+/// `wall` covers every `next_event` call the operator served and the
+/// I/O counts cover exactly the work done on the operator's behalf
+/// (including nested sub-operators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorSpan {
+    /// Static operator name (`tqf.key`, `m1.key`, `m1.theta`, …).
+    pub name: &'static str,
+    /// The key or interval the operator worked on.
+    pub label: Option<String>,
+    /// Number of enclosing operator spans (0 = key-level cursor).
+    pub depth: usize,
+    /// Wall time the operator span was open.
+    pub wall: Duration,
+    /// GHFK calls issued under this operator.
+    pub ghfk_calls: u64,
+    /// Blocks deserialized under this operator.
+    pub blocks: u64,
+}
+
+/// Span names that identify cursor operators in the telemetry tree.
+const OPERATOR_SPANS: &[&str] = &["tqf.key", "m1.key", "m1.theta", "m2.key", "m2.theta"];
+
 /// A plan annotated with per-step measurements from a real run.
 #[derive(Debug, Clone)]
 pub struct AnalyzedPlan {
@@ -41,6 +73,8 @@ pub struct AnalyzedPlan {
     pub plan: QueryPlan,
     /// One measurement per plan step, aligned with `plan.steps`.
     pub measured: Vec<StepMeasurement>,
+    /// Cursor operator spans in execution order (outer before inner).
+    pub operators: Vec<OperatorSpan>,
     /// Whole-query measurement (wall + I/O counter deltas).
     pub stats: QueryStats,
     /// Events the query returned.
@@ -109,6 +143,20 @@ impl AnalyzedPlan {
                 PlanStep::Filter => out.push_str("  filter to window\n"),
             }
         }
+        if !self.operators.is_empty() {
+            out.push_str("  operators:\n");
+            for op in &self.operators {
+                let indent = "  ".repeat(op.depth);
+                let label = op.label.as_deref().unwrap_or("-");
+                out.push_str(&format!(
+                    "    {indent}{}({label}) — {} GHFK, {} block(s), {}\n",
+                    op.name,
+                    op.ghfk_calls,
+                    op.blocks,
+                    fabric_telemetry::export::fmt_ns(op.wall.as_nanos() as u64)
+                ));
+            }
+        }
         out.push_str(&format!(
             "  => {} events, {} blocks deserialized (bound {}), {} GHFK calls, wall {:?}\n",
             self.events,
@@ -127,6 +175,23 @@ fn collect_ghfk<'t>(nodes: &'t [SpanNode], out: &mut Vec<&'t SpanNode>) {
             out.push(node);
         }
         collect_ghfk(&node.children, out);
+    }
+}
+
+fn collect_operators(nodes: &[SpanNode], depth: usize, out: &mut Vec<OperatorSpan>) {
+    for node in nodes {
+        let is_op = OPERATOR_SPANS.contains(&node.record.name);
+        if is_op {
+            out.push(OperatorSpan {
+                name: node.record.name,
+                label: node.record.label.clone(),
+                depth,
+                wall: Duration::from_nanos(node.record.dur_ns),
+                ghfk_calls: node.count_named("ghfk") as u64,
+                blocks: node.count_named("block.deserialize") as u64,
+            });
+        }
+        collect_operators(&node.children, depth + usize::from(is_op), out);
     }
 }
 
@@ -155,6 +220,8 @@ pub fn explain_analyze(
     }
     let (events, stats) = run?;
 
+    let mut operators = Vec::new();
+    collect_operators(&tree, 0, &mut operators);
     let mut ghfk = Vec::new();
     collect_ghfk(&tree, &mut ghfk);
     let mut used = vec![false; ghfk.len()];
@@ -185,6 +252,7 @@ pub fn explain_analyze(
     Ok(AnalyzedPlan {
         plan,
         measured,
+        operators,
         stats,
         events: events.len(),
     })
@@ -267,6 +335,55 @@ mod tests {
         let m2 = explain_analyze(&M2Engine { u: 100 }, &m2led, key, tau).unwrap();
         assert!(m2.within_bounds(), "{}", m2.render());
         assert_eq!(m2.events, 20);
+    }
+
+    #[test]
+    fn operators_attribute_io_per_cursor() {
+        let dir = TempDir::new("operators");
+        let base = fabric_ledger::Ledger::open(dir.0.join("base"), LedgerConfig::small_for_tests())
+            .unwrap();
+        ingest(&base, &events(), IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let strategy = FixedLength { u: 100 };
+        M1Indexer::fixed(&strategy)
+            .run_epoch(&base, &[EntityId::shipment(0)], Interval::new(0, 400))
+            .unwrap();
+
+        let tau = Interval::new(100, 300);
+        let key = EntityId::shipment(0);
+
+        // TQF: a single key-level cursor owns every GHFK call and block.
+        let tqf = explain_analyze(&TqfEngine, &base, key, tau).unwrap();
+        let tqf_ops: Vec<_> = tqf
+            .operators
+            .iter()
+            .filter(|o| o.name == "tqf.key")
+            .collect();
+        assert_eq!(tqf_ops.len(), 1, "{:?}", tqf.operators);
+        assert_eq!(tqf_ops[0].depth, 0);
+        assert_eq!(tqf_ops[0].blocks, tqf.measured_blocks());
+        assert!(tqf_ops[0].ghfk_calls >= 1);
+
+        // M1: one key-level operator with one nested m1.theta operator per
+        // overlapping interval, each costing exactly one block.
+        let m1 = explain_analyze(&crate::m1::M1Engine::default(), &base, key, tau).unwrap();
+        let key_ops: Vec<_> = m1.operators.iter().filter(|o| o.name == "m1.key").collect();
+        assert_eq!(key_ops.len(), 1, "{:?}", m1.operators);
+        assert_eq!(key_ops[0].depth, 0);
+        assert_eq!(key_ops[0].blocks, m1.measured_blocks());
+        let thetas: Vec<_> = m1
+            .operators
+            .iter()
+            .filter(|o| o.name == "m1.theta")
+            .collect();
+        assert_eq!(thetas.len(), 2, "{:?}", m1.operators);
+        for theta in &thetas {
+            assert_eq!(theta.depth, 1);
+            assert_eq!(theta.blocks, 1);
+            assert!(theta.label.is_some());
+        }
+        let text = m1.render();
+        assert!(text.contains("operators:"), "{text}");
+        assert!(text.contains("m1.theta"), "{text}");
     }
 
     #[test]

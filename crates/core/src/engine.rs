@@ -7,9 +7,12 @@
 //! must return exactly the same event sets, which the integration tests
 //! assert.
 
+use std::collections::BTreeSet;
+
 use fabric_ledger::{Ledger, Result};
 use fabric_workload::{EntityId, EntityKind, Event};
 
+use crate::cursor::{EventCursor, VecCursor};
 use crate::interval::Interval;
 
 /// A strategy for answering temporal event queries on the ledger.
@@ -18,10 +21,49 @@ pub trait TemporalEngine {
     fn name(&self) -> String;
 
     /// All ledger keys of `kind`, via state-db range scans.
-    fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>>;
+    ///
+    /// The provided default handles every layout in this crate: it scans
+    /// the state database for the kind's key prefix and collapses
+    /// interval-composite keys (M2's `(k,θ)` rows) down to their base
+    /// entity, so plain TQF/M1 ledgers and M2 ledgers both resolve to the
+    /// same sorted, deduplicated entity list.
+    fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>> {
+        let prefix = [kind.prefix()];
+        let end = [kind.prefix() + 1];
+        let rows = ledger.get_state_by_range(Some(&prefix), Some(&end))?;
+        let mut keys = BTreeSet::new();
+        for (k, _) in &rows {
+            let base = match Interval::split_composite_key(k) {
+                Some((base, _)) => base,
+                None => &k[..],
+            };
+            if let Some(id) = EntityId::from_key(base) {
+                keys.insert(id);
+            }
+        }
+        Ok(keys.into_iter().collect())
+    }
 
     /// Every event of `key` with time in `tau`, ascending by time.
     fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>>;
+
+    /// A streaming cursor over the same events [`events_for_key`] returns,
+    /// in the same order. The provided default materializes eagerly and
+    /// wraps the result, so external engines keep compiling; the engines in
+    /// this crate override it with genuinely lazy cursors whose early
+    /// termination stops block deserialization.
+    ///
+    /// [`events_for_key`]: TemporalEngine::events_for_key
+    fn events_cursor<'l>(
+        &self,
+        ledger: &'l Ledger,
+        key: EntityId,
+        tau: Interval,
+    ) -> Result<Box<dyn EventCursor + 'l>> {
+        Ok(Box::new(VecCursor::new(
+            self.events_for_key(ledger, key, tau)?,
+        )))
+    }
 }
 
 /// Decode a raw ledger value into an [`Event`] for `subject`, returning an

@@ -13,7 +13,6 @@ use fabric_workload::EntityId;
 use crate::interval::Interval;
 use crate::m1::{read_meta, M1Engine};
 use crate::m2::M2Engine;
-use crate::partition::{FixedLength, PartitionStrategy};
 use crate::tqf::TqfEngine;
 
 /// One step of a query plan.
@@ -108,9 +107,9 @@ pub trait ExplainQuery {
 impl ExplainQuery for TqfEngine {
     fn explain(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<QueryPlan> {
         // TQF scans history from t=0; the block upper bound is the number
-        // of distinct blocks holding states of the key (we bound by
-        // history entries, which the history index counts cheaply).
-        let entries = ledger.get_history_for_key(&key.key())?.remaining_hint() as u64;
+        // of distinct blocks holding states of the key, which the history
+        // index counts cheaply.
+        let blocks = ledger.get_history_for_key(&key.key())?.blocks_hint() as u64;
         Ok(QueryPlan {
             engine: "TQF".to_string(),
             key,
@@ -118,7 +117,7 @@ impl ExplainQuery for TqfEngine {
             steps: vec![
                 PlanStep::Ghfk {
                     key: key.to_string(),
-                    max_blocks: entries,
+                    max_blocks: blocks,
                     first_state_only: false,
                 },
                 PlanStep::Filter,
@@ -138,19 +137,26 @@ impl ExplainQuery for M1Engine {
                 steps,
             });
         };
-        if meta.u > 0 {
-            for epoch in &meta.epochs {
-                let fixed = FixedLength { u: meta.u };
-                for theta in fixed.partition(*epoch, &[]) {
-                    if theta.overlaps(&tau) {
-                        steps.push(PlanStep::Ghfk {
-                            key: String::from_utf8_lossy(&theta.composite_key(&key.key()))
-                                .into_owned(),
-                            max_blocks: 1,
-                            first_state_only: true,
-                        });
-                    }
-                }
+        for theta in crate::m1::overlapping_thetas(ledger, key, tau, &meta)? {
+            steps.push(PlanStep::Ghfk {
+                key: String::from_utf8_lossy(&theta.composite_key(&key.key())).into_owned(),
+                max_blocks: 1,
+                first_state_only: true,
+            });
+        }
+        if self.scan_unindexed_tail {
+            if let Some(residual) = crate::m1::residual_window(tau, meta.indexed_to()) {
+                // The hybrid fringe: a base-data scan bounded below by the
+                // indexed horizon (entries stamped at or before it are
+                // skipped via the history index's timestamps).
+                let blocks = ledger
+                    .get_history_for_key_from(&key.key(), residual.start)?
+                    .blocks_hint() as u64;
+                steps.push(PlanStep::Ghfk {
+                    key: key.to_string(),
+                    max_blocks: blocks,
+                    first_state_only: false,
+                });
             }
         }
         steps.push(PlanStep::Filter);
@@ -201,6 +207,7 @@ mod tests {
     use crate::engine::TemporalEngine;
     use crate::m1::M1Indexer;
     use crate::m2::M2Encoder;
+    use crate::partition::FixedLength;
     use fabric_ledger::LedgerConfig;
     use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
     use fabric_workload::{Event, EventKind};

@@ -55,32 +55,49 @@ pub struct Stay {
     pub span: Span,
 }
 
-/// Reconstruct stays from a subject's events inside `tau`.
-///
-/// Events must be ascending by time. Unmatched unloads clamp to the window
-/// start; unmatched loads clamp to the window end.
-pub fn build_stays(events: &[Event], tau: Interval) -> Vec<Stay> {
-    debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
-    let window_start = tau.start + 1; // (ts, te] ⇒ first instant inside
-    let window_end = tau.end;
-    let mut open: HashMap<EntityId, u64> = HashMap::new();
-    let mut stays = Vec::new();
-    for ev in events {
+/// Incremental stay reconstruction: feed a subject's events one at a time
+/// (ascending by time — e.g. straight off an
+/// [`crate::cursor::EventCursor`]) and collect the stays at the end. The
+/// streaming executor's per-key state is exactly this builder plus the
+/// cursor, so a query's memory no longer scales with the key's event
+/// count inside the window.
+#[derive(Debug)]
+pub struct StayBuilder {
+    window_start: u64,
+    window_end: u64,
+    open: HashMap<EntityId, u64>,
+    stays: Vec<Stay>,
+}
+
+impl StayBuilder {
+    /// An empty builder for the window `tau`.
+    pub fn new(tau: Interval) -> Self {
+        StayBuilder {
+            window_start: tau.start + 1, // (ts, te] ⇒ first instant inside
+            window_end: tau.end,
+            open: HashMap::new(),
+            stays: Vec::new(),
+        }
+    }
+
+    /// Fold in the next event (events must arrive ascending by time).
+    /// Unmatched unloads clamp to the window start.
+    pub fn push(&mut self, ev: &Event) {
         match ev.kind {
             EventKind::Load => {
                 // A dangling earlier load for the same target (its unload
                 // fell outside our data) is closed at this load's time.
-                if let Some(from) = open.remove(&ev.target) {
-                    stays.push(Stay {
+                if let Some(from) = self.open.remove(&ev.target) {
+                    self.stays.push(Stay {
                         target: ev.target,
                         span: Span { from, to: ev.time },
                     });
                 }
-                open.insert(ev.target, ev.time);
+                self.open.insert(ev.target, ev.time);
             }
             EventKind::Unload => {
-                let from = open.remove(&ev.target).unwrap_or(window_start);
-                stays.push(Stay {
+                let from = self.open.remove(&ev.target).unwrap_or(self.window_start);
+                self.stays.push(Stay {
                     target: ev.target,
                     span: Span {
                         from,
@@ -90,17 +107,36 @@ pub fn build_stays(events: &[Event], tau: Interval) -> Vec<Stay> {
             }
         }
     }
-    for (target, from) in open {
-        stays.push(Stay {
-            target,
-            span: Span {
-                from,
-                to: window_end,
-            },
-        });
+
+    /// Close the stream: unmatched loads clamp to the window end, and the
+    /// stays come back sorted by `(from, target)`.
+    pub fn finish(mut self) -> Vec<Stay> {
+        for (target, from) in self.open {
+            self.stays.push(Stay {
+                target,
+                span: Span {
+                    from,
+                    to: self.window_end,
+                },
+            });
+        }
+        self.stays.sort_by_key(|s| (s.span.from, s.target));
+        self.stays
     }
-    stays.sort_by_key(|s| (s.span.from, s.target));
-    stays
+}
+
+/// Reconstruct stays from a subject's events inside `tau`.
+///
+/// Events must be ascending by time. Unmatched unloads clamp to the window
+/// start; unmatched loads clamp to the window end. (Eager wrapper around
+/// [`StayBuilder`].)
+pub fn build_stays(events: &[Event], tau: Interval) -> Vec<Stay> {
+    debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+    let mut builder = StayBuilder::new(tau);
+    for ev in events {
+        builder.push(ev);
+    }
+    builder.finish()
 }
 
 /// One row of query Q's answer: shipment `shipment` rode truck `truck`
@@ -160,6 +196,11 @@ pub struct JoinOutcome {
     /// Wall time spent inside event retrieval (GHFK calls and iteration) —
     /// the paper's "GHFK Time" column.
     pub retrieval_wall: std::time::Duration,
+    /// High-water mark of events buffered in cross-worker channels during
+    /// retrieval. Serial execution streams each cursor straight into its
+    /// [`StayBuilder`] and reports 0; the parallel executor's bounded
+    /// per-slot channels keep this small regardless of result size.
+    pub peak_buffered_events: usize,
 }
 
 /// Execute query Q over `tau` using `engine` for event retrieval.
@@ -185,28 +226,29 @@ pub fn ferry_query(
                 engine.list_keys(ledger, EntityKind::Container)?,
             )
         };
-        let mut shipment_stays = HashMap::with_capacity(shipments.len());
-        {
-            let _s = tel.span("ferry.shipments");
-            for s in shipments {
-                let t0 = std::time::Instant::now();
-                let events = engine.events_for_key(ledger, s, tau)?;
-                retrieval_wall += t0.elapsed();
-                events_scanned += events.len();
-                shipment_stays.insert(s, build_stays(&events, tau));
-            }
-        }
-        let mut container_stays = HashMap::with_capacity(containers.len());
-        {
-            let _s = tel.span("ferry.containers");
-            for c in containers {
-                let t0 = std::time::Instant::now();
-                let events = engine.events_for_key(ledger, c, tau)?;
-                retrieval_wall += t0.elapsed();
-                events_scanned += events.len();
-                container_stays.insert(c, build_stays(&events, tau));
-            }
-        }
+        // Stream each key's cursor straight into its stay builder: the
+        // per-key working set is the builder's open-stay map, not the
+        // window's whole event list.
+        let mut stream_stays =
+            |phase: &'static str, keys: Vec<EntityId>| -> Result<HashMap<EntityId, Vec<Stay>>> {
+                let _s = tel.span(phase);
+                let mut stays = HashMap::with_capacity(keys.len());
+                for key in keys {
+                    let t0 = std::time::Instant::now();
+                    let mut cursor = engine.events_cursor(ledger, key, tau)?;
+                    let mut builder = StayBuilder::new(tau);
+                    while let Some(ev) = cursor.next_event()? {
+                        events_scanned += 1;
+                        builder.push(&ev);
+                    }
+                    drop(cursor);
+                    retrieval_wall += t0.elapsed();
+                    stays.insert(key, builder.finish());
+                }
+                Ok(stays)
+            };
+        let shipment_stays = stream_stays("ferry.shipments", shipments)?;
+        let container_stays = stream_stays("ferry.containers", containers)?;
         let _s = tel.span("ferry.join");
         Ok(temporal_join(&shipment_stays, &container_stays))
     })?;
@@ -219,6 +261,7 @@ pub fn ferry_query(
         events_scanned,
         stats,
         retrieval_wall,
+        peak_buffered_events: 0,
     })
 }
 

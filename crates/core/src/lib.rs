@@ -54,6 +54,7 @@
 pub mod analytics;
 pub mod analyze;
 pub mod base_api;
+pub mod cursor;
 pub mod engine;
 pub mod evset;
 pub mod explain;
@@ -63,19 +64,22 @@ pub mod m1;
 pub mod m2;
 pub mod parallel;
 pub mod partition;
+pub mod planner;
 pub mod stats;
 pub mod tqf;
 
 pub use analyze::{explain_analyze, AnalyzedPlan, StepMeasurement};
 pub use base_api::M2BaseApi;
+pub use cursor::{drain, EventCursor, VecCursor};
 pub use engine::TemporalEngine;
 pub use evset::{EvSet, TemporalEvent};
 pub use explain::{ExplainQuery, PlanStep, QueryPlan};
 pub use interval::Interval;
-pub use join::{ferry_query, FerryRecord, JoinOutcome, Span, Stay};
+pub use join::{build_stays, ferry_query, FerryRecord, JoinOutcome, Span, Stay, StayBuilder};
 pub use m1::{M1Engine, M1Indexer, M1Maintenance};
 pub use m2::{M2Encoder, M2Engine};
 pub use parallel::{events_for_keys_parallel, ferry_query_parallel};
 pub use partition::{EventCountBalanced, FixedLength, PartitionStrategy};
+pub use planner::{AccessPath, AutoEngine, PlanChoice};
 pub use stats::{measure, QueryStats, SimCostModel};
 pub use tqf::TqfEngine;

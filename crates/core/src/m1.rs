@@ -25,14 +25,14 @@ use bytes::Bytes;
 
 use fabric_ledger::codec::{put_u64, put_uvarint, Cursor};
 use fabric_ledger::{Error, Ledger, Result, TxSimulator};
-use fabric_workload::{EntityId, EntityKind, Event};
+use fabric_workload::{EntityId, Event};
 
+use crate::cursor::{drain, EventCursor, M1Cursor};
 use crate::engine::{decode_event, TemporalEngine};
 use crate::evset::{EvSet, TemporalEvent};
 use crate::interval::Interval;
 use crate::partition::{FixedLength, PartitionStrategy};
 use crate::stats::{measure, QueryStats};
-use crate::tqf::{scan_entity_keys, TqfEngine};
 
 /// State-db key holding the global M1 indexing metadata.
 pub const M1_META_KEY: &[u8] = b"__m1meta";
@@ -426,39 +426,78 @@ impl Default for M1Engine {
     }
 }
 
-impl M1Engine {
-    /// Read the first historical state of `(key, theta)` — one block — and
-    /// filter its events to `tau`.
-    fn read_index(
-        ledger: &Ledger,
-        key: EntityId,
-        theta: Interval,
-        tau: Interval,
-        out: &mut Vec<Event>,
-    ) -> Result<()> {
-        let _span = ledger
-            .telemetry()
-            .span("m1.theta")
-            .with_label(theta.to_string());
-        let composite = theta.composite_key(&key.key());
-        let mut iter = ledger.get_history_for_key(&composite)?;
-        // First state only: the event set. The subsequent delete marker's
-        // block is never deserialized (lazy iterator).
-        let Some(state) = iter.next()? else {
-            return Ok(()); // empty interval: no index pair was ingested
-        };
-        let Some(value) = state.value else {
-            return Err(Error::InvalidArgument(format!(
-                "index {} has a delete as first state",
-                String::from_utf8_lossy(&composite)
-            )));
-        };
-        let set = EvSet::decode(&value)?;
-        for ev in set.filter(tau) {
-            out.push(decode_event(key, &ev.value)?);
-        }
-        Ok(())
+/// Read the first historical state of `(key, theta)` — one block — and
+/// filter its events to `tau`.
+pub(crate) fn read_index(
+    ledger: &Ledger,
+    key: EntityId,
+    theta: Interval,
+    tau: Interval,
+    out: &mut Vec<Event>,
+) -> Result<()> {
+    let _span = ledger
+        .telemetry()
+        .span("m1.theta")
+        .with_label(theta.to_string());
+    let composite = theta.composite_key(&key.key());
+    let mut iter = ledger.get_history_for_key(&composite)?;
+    // First state only: the event set. The subsequent delete marker's
+    // block is never deserialized (lazy iterator).
+    let Some(state) = iter.next()? else {
+        return Ok(()); // empty interval: no index pair was ingested
+    };
+    let Some(value) = state.value else {
+        return Err(Error::InvalidArgument(format!(
+            "index {} has a delete as first state",
+            String::from_utf8_lossy(&composite)
+        )));
+    };
+    let set = EvSet::decode(&value)?;
+    for ev in set.filter(tau) {
+        out.push(decode_event(key, &ev.value)?);
     }
+    Ok(())
+}
+
+/// Θ(k) ∩ τ: the index intervals a query for `(key, tau)` must consult,
+/// ascending. For fixed-`u` metadata the intervals are computed
+/// arithmetically; catalog strategies read the on-chain per-key catalog
+/// (one `GetState`).
+pub(crate) fn overlapping_thetas(
+    ledger: &Ledger,
+    key: EntityId,
+    tau: Interval,
+    meta: &M1Meta,
+) -> Result<Vec<Interval>> {
+    let mut thetas = Vec::new();
+    if meta.u > 0 {
+        for epoch in &meta.epochs {
+            let fixed = FixedLength { u: meta.u };
+            for theta in fixed.partition(*epoch, &[]) {
+                if theta.overlaps(&tau) {
+                    thetas.push(theta);
+                }
+            }
+        }
+    } else {
+        // Catalog-based strategies: Θ(k) comes from the on-chain
+        // per-key catalog.
+        let ckey = catalog_key(key);
+        if let Some(vv) = ledger.get_state(&ckey)? {
+            for theta in decode_catalog(&vv.value)? {
+                if theta.overlaps(&tau) {
+                    thetas.push(theta);
+                }
+            }
+        }
+    }
+    Ok(thetas)
+}
+
+/// The residual window past the indexed horizon that `tau` still needs
+/// from base data (`None` when the index fully covers the query).
+pub(crate) fn residual_window(tau: Interval, indexed_to: u64) -> Option<Interval> {
+    (tau.end > indexed_to).then(|| Interval::new(tau.start.max(indexed_to), tau.end))
 }
 
 impl TemporalEngine for M1Engine {
@@ -466,54 +505,38 @@ impl TemporalEngine for M1Engine {
         "M1".to_string()
     }
 
-    fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>> {
-        // M1 leaves the base data untouched; entity discovery is identical
-        // to TQF's state-db range scan.
-        scan_entity_keys(ledger, kind)
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
+        drain(self.events_cursor(ledger, key, tau)?.as_mut())
     }
 
-    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
-        let _span = ledger
+    fn events_cursor<'l>(
+        &self,
+        ledger: &'l Ledger,
+        key: EntityId,
+        tau: Interval,
+    ) -> Result<Box<dyn EventCursor + 'l>> {
+        let span = ledger
             .telemetry()
             .span("m1.key")
             .with_label(key.to_string());
         let meta = read_meta(ledger)?
             .ok_or_else(|| Error::InvalidArgument("M1 indexes have not been built".to_string()))?;
-        let mut out = Vec::new();
-        if meta.u > 0 {
-            for epoch in &meta.epochs {
-                let fixed = FixedLength { u: meta.u };
-                for theta in fixed.partition(*epoch, &[]) {
-                    if theta.overlaps(&tau) {
-                        Self::read_index(ledger, key, theta, tau, &mut out)?;
-                    }
-                }
-            }
+        let thetas = overlapping_thetas(ledger, key, tau, &meta)?;
+        let residual = if self.scan_unindexed_tail {
+            residual_window(tau, meta.indexed_to())
         } else {
-            // Catalog-based strategies: Θ(k) comes from the on-chain
-            // per-key catalog.
-            let ckey = catalog_key(key);
-            if let Some(vv) = ledger.get_state(&ckey)? {
-                for theta in decode_catalog(&vv.value)? {
-                    if theta.overlaps(&tau) {
-                        Self::read_index(ledger, key, theta, tau, &mut out)?;
-                    }
-                }
-            }
-        }
-        let indexed_to = meta.indexed_to();
-        if tau.end > indexed_to && self.scan_unindexed_tail {
-            let tail = Interval::new(tau.start.max(indexed_to), tau.end);
-            out.extend(TqfEngine.events_for_key(ledger, key, tail)?);
-        }
-        out.sort_by_key(|e| e.time);
-        Ok(out)
+            None
+        };
+        Ok(Box::new(M1Cursor::new(
+            ledger, key, tau, thetas, residual, span,
+        )))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tqf::TqfEngine;
     use fabric_ledger::LedgerConfig;
     use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
     use fabric_workload::EventKind;

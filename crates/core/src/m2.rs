@@ -13,15 +13,14 @@
 //! applications must reach the original keys through the
 //! [compatibility layer](crate::base_api).
 
-use std::collections::BTreeSet;
-
 use bytes::Bytes;
 
 use fabric_ledger::{Ledger, Result};
 use fabric_workload::ingest::EventEncoder;
-use fabric_workload::{EntityId, EntityKind, Event};
+use fabric_workload::{EntityId, Event};
 
-use crate::engine::{decode_event, TemporalEngine};
+use crate::cursor::{drain, EventCursor, M2Cursor};
+use crate::engine::TemporalEngine;
 use crate::interval::Interval;
 
 /// Rewrites each event's key to the interval-tagged composite key
@@ -51,65 +50,23 @@ impl TemporalEngine for M2Engine {
         format!("M2(u={})", self.u)
     }
 
-    fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>> {
-        // The state-db holds composite keys only; recover the distinct base
-        // keys from a range scan over the kind's prefix.
-        let prefix = [kind.prefix()];
-        let end = [kind.prefix() + 1];
-        let rows = ledger.get_state_by_range(Some(&prefix), Some(&end))?;
-        let mut keys: BTreeSet<EntityId> = BTreeSet::new();
-        for (k, _) in rows {
-            if let Some((base, _)) = Interval::split_composite_key(&k) {
-                if let Some(id) = EntityId::from_key(base) {
-                    keys.insert(id);
-                }
-            }
-        }
-        Ok(keys.into_iter().collect())
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
+        // GHFK on each overlapping (k, θ): deserializes exactly the blocks
+        // holding k's events within θ. Each interval's history is in time
+        // order, so once past te the lazy iterator is abandoned and the
+        // blocks holding the rest of θ are never deserialized (this is why
+        // the paper's u=50K numbers grow within a band as the query window
+        // moves right, then drop at the next band).
+        drain(&mut M2Cursor::new(ledger, key, tau)?)
     }
 
-    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
-        let _span = ledger
-            .telemetry()
-            .span("m2.key")
-            .with_label(key.to_string());
-        // "From state-db, we find out all indexing intervals for key k
-        // which overlap with τ. This is done using a range-scan query."
-        let prefix = Interval::key_prefix(&key.key());
-        let end = fabric_kvstore::prefix_end(&prefix);
-        let rows = ledger.get_state_by_range(Some(&prefix), end.as_deref())?;
-        let mut out = Vec::new();
-        for (composite, _) in rows {
-            let Some((_, theta)) = Interval::split_composite_key(&composite) else {
-                continue;
-            };
-            if !theta.overlaps(&tau) {
-                continue;
-            }
-            let _theta_span = ledger
-                .telemetry()
-                .span("m2.theta")
-                .with_label(theta.to_string());
-            // GHFK on (k, θ): deserializes exactly the blocks holding k's
-            // events within θ. The interval's history is in time order, so
-            // once past te the lazy iterator is abandoned and the blocks
-            // holding the rest of θ are never deserialized (this is why
-            // the paper's u=50K numbers grow within a band as the query
-            // window moves right, then drop at the next band).
-            let mut iter = ledger.get_history_for_key(&composite)?;
-            while let Some(state) = iter.next()? {
-                let Some(value) = &state.value else { continue };
-                let event = decode_event(key, value)?;
-                if event.time > tau.end {
-                    break;
-                }
-                if tau.contains(event.time) {
-                    out.push(event);
-                }
-            }
-        }
-        out.sort_by_key(|e| e.time);
-        Ok(out)
+    fn events_cursor<'l>(
+        &self,
+        ledger: &'l Ledger,
+        key: EntityId,
+        tau: Interval,
+    ) -> Result<Box<dyn EventCursor + 'l>> {
+        Ok(Box::new(M2Cursor::new(ledger, key, tau)?))
     }
 }
 
@@ -118,7 +75,7 @@ mod tests {
     use super::*;
     use fabric_ledger::{LedgerConfig, TxSimulator};
     use fabric_workload::ingest::{ingest, IngestMode};
-    use fabric_workload::EventKind;
+    use fabric_workload::{EntityKind, EventKind};
 
     struct TempDir(std::path::PathBuf);
     impl TempDir {

@@ -3,24 +3,150 @@
 //! The paper's query driver is sequential: one GHFK after another. On a
 //! real peer the per-key retrievals are independent reads, so they
 //! parallelise embarrassingly. [`ferry_query_parallel`] fans the per-key
-//! event retrieval out over a crossbeam scope while keeping results
-//! deterministic: each key owns a dedicated result cell, so workers never
-//! contend on a shared collection — only on the atomic work counter. The
-//! join itself is unchanged. The ablation benchmarks quantify the
-//! speed-up; all engines remain interchangeable because the function
-//! takes the same [`TemporalEngine`] trait.
+//! cursors out over a thread scope while keeping results deterministic
+//! **and memory bounded**: each key owns a dedicated bounded channel
+//! (a "slot"), workers stream events into the slot for the key they
+//! claimed, and the consumer folds slots in key order. Backpressure comes
+//! from the channel capacity — a worker racing ahead of the consumer
+//! blocks after [`SLOT_CAPACITY`] events instead of buffering a whole
+//! `Vec<Event>` per key. The join itself is unchanged. The ablation
+//! benchmarks quantify the speed-up; all engines remain interchangeable
+//! because the functions take the same [`TemporalEngine`] trait.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
 
-use fabric_ledger::{Ledger, Result};
+use fabric_ledger::{Error, Ledger, Result};
 use fabric_workload::{EntityId, EntityKind, Event};
 
 use crate::engine::TemporalEngine;
 use crate::interval::Interval;
-use crate::join::{build_stays, temporal_join, JoinOutcome};
+use crate::join::{temporal_join, JoinOutcome, StayBuilder};
 use crate::stats::measure;
+
+/// Bounded per-slot buffer: the most events a worker may run ahead of the
+/// consumer on any single key.
+pub const SLOT_CAPACITY: usize = 256;
+
+/// A slot's producer end, claimed exactly once by the worker that takes
+/// the slot's key.
+type SlotSender = Mutex<Option<SyncSender<Result<Event>>>>;
+
+/// Stream events for every key in `keys` on `workers` threads, invoking
+/// `consume(key_index, event)` on the calling thread in strict `keys`
+/// order (all of key 0's events, then key 1's, …) regardless of worker
+/// scheduling. Returns the peak number of events simultaneously buffered
+/// in the slot channels (0 on the serial path).
+///
+/// Deadlock-freedom: workers claim key indices in increasing order and the
+/// consumer drains slots in increasing order, so the slot the consumer
+/// waits on is always one some worker has claimed or will claim next;
+/// a worker blocked on a full later slot never prevents the earlier
+/// claimed slots from completing. If `consume` or a cursor fails, the
+/// remaining receivers are dropped, producers see a closed channel and
+/// abandon their cursors.
+fn stream_events_parallel<F>(
+    engine: &(dyn TemporalEngine + Sync),
+    ledger: &Ledger,
+    keys: &[EntityId],
+    tau: Interval,
+    workers: usize,
+    mut consume: F,
+) -> Result<usize>
+where
+    F: FnMut(usize, Event) -> Result<()>,
+{
+    let workers = workers.clamp(1, keys.len().max(1));
+    if workers == 1 || keys.len() <= 1 {
+        for (i, &key) in keys.iter().enumerate() {
+            let mut cursor = engine.events_cursor(ledger, key, tau)?;
+            while let Some(ev) = cursor.next_event()? {
+                consume(i, ev)?;
+            }
+        }
+        return Ok(0);
+    }
+
+    let mut senders: Vec<SlotSender> = Vec::with_capacity(keys.len());
+    let mut receivers: Vec<Receiver<Result<Event>>> = Vec::with_capacity(keys.len());
+    for _ in 0..keys.len() {
+        let (tx, rx) = sync_channel(SLOT_CAPACITY);
+        senders.push(Mutex::new(Some(tx)));
+        receivers.push(rx);
+    }
+    let next = AtomicUsize::new(0);
+    let in_flight = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+
+    let mut outcome: Result<()> = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= keys.len() {
+                    break;
+                }
+                let tx = senders[i]
+                    .lock()
+                    .expect("slot sender mutex poisoned")
+                    .take()
+                    .expect("slot sender claimed twice");
+                let produced = (|| -> Result<()> {
+                    let mut cursor = engine.events_cursor(ledger, keys[i], tau)?;
+                    while let Some(ev) = cursor.next_event()? {
+                        // Count before sending so the consumer's decrement
+                        // (which follows a successful recv) can never run
+                        // ahead of the increment and underflow.
+                        let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                        peak.fetch_max(now, Ordering::Relaxed);
+                        if tx.send(Ok(ev)).is_err() {
+                            // Consumer bailed: abandon the cursor early.
+                            in_flight.fetch_sub(1, Ordering::Relaxed);
+                            return Ok(());
+                        }
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = produced {
+                    let _ = tx.send(Err(e));
+                }
+                // Dropping the sender closes the slot.
+            });
+        }
+        // Consumer: fold slots in key order on this thread.
+        let mut first_err: Option<Error> = None;
+        for (i, rx) in receivers.into_iter().enumerate() {
+            if first_err.is_some() {
+                // Dropping the receiver makes the producer's sends fail
+                // fast, so workers drain out instead of blocking.
+                continue;
+            }
+            loop {
+                match rx.recv() {
+                    Ok(Ok(ev)) => {
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                        if let Err(e) = consume(i, ev) {
+                            first_err = Some(e);
+                            break;
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                    Err(_) => break, // slot complete
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            outcome = Err(e);
+        }
+    });
+    outcome?;
+    Ok(peak.load(Ordering::Relaxed))
+}
 
 /// Retrieve events for every key in `keys` using `workers` threads.
 /// Results come back in `keys` order regardless of scheduling.
@@ -31,44 +157,19 @@ pub fn events_for_keys_parallel(
     tau: Interval,
     workers: usize,
 ) -> Result<Vec<Vec<Event>>> {
-    let workers = workers.clamp(1, keys.len().max(1));
-    if workers == 1 || keys.len() <= 1 {
-        return keys
-            .iter()
-            .map(|&k| engine.events_for_key(ledger, k, tau))
-            .collect();
-    }
-    // One cell per key: workers claim disjoint indices via `next`, so each
-    // slot mutex is uncontended — it exists only to satisfy the borrow
-    // checker across the scope, not to serialize writers.
-    let mut slots: Vec<Mutex<Option<Result<Vec<Event>>>>> = Vec::with_capacity(keys.len());
-    slots.resize_with(keys.len(), || Mutex::new(None));
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= keys.len() {
-                    break;
-                }
-                let result = engine.events_for_key(ledger, keys[i], tau);
-                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
-            });
-        }
-    })
-    .expect("query worker panicked");
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot mutex poisoned")
-                .expect("every slot filled")
-        })
-        .collect()
+    let mut out: Vec<Vec<Event>> = Vec::new();
+    out.resize_with(keys.len(), Vec::new);
+    stream_events_parallel(engine, ledger, keys, tau, workers, |i, ev| {
+        out[i].push(ev);
+        Ok(())
+    })?;
+    Ok(out)
 }
 
 /// Parallel version of [`crate::join::ferry_query`]: identical output,
-/// per-key retrieval fanned out over `workers` threads.
+/// per-key retrieval fanned out over `workers` threads with bounded
+/// buffering — stays are folded incrementally as events stream out of the
+/// slot channels, never materializing per-key event vectors.
 pub fn ferry_query_parallel(
     engine: &(dyn TemporalEngine + Sync),
     ledger: &Ledger,
@@ -86,34 +187,42 @@ pub fn ferry_query_parallel(
         ));
     let mut events_scanned = 0usize;
     let mut retrieval_wall = std::time::Duration::ZERO;
+    let mut peak_buffered_events = 0usize;
     let (records, stats) = measure(ledger, || -> Result<_> {
         let shipments = engine.list_keys(ledger, EntityKind::Shipment)?;
         let containers = engine.list_keys(ledger, EntityKind::Container)?;
         let t0 = std::time::Instant::now();
-        let ship_events = events_for_keys_parallel(engine, ledger, &shipments, tau, workers)?;
-        let cont_events = events_for_keys_parallel(engine, ledger, &containers, tau, workers)?;
+        let mut fold = |keys: &[EntityId]| -> Result<HashMap<EntityId, Vec<crate::join::Stay>>> {
+            let mut builders: Vec<StayBuilder> =
+                keys.iter().map(|_| StayBuilder::new(tau)).collect();
+            let peak = stream_events_parallel(engine, ledger, keys, tau, workers, |i, ev| {
+                events_scanned += 1;
+                builders[i].push(&ev);
+                Ok(())
+            })?;
+            peak_buffered_events = peak_buffered_events.max(peak);
+            Ok(keys
+                .iter()
+                .copied()
+                .zip(builders.into_iter().map(StayBuilder::finish))
+                .collect())
+        };
+        let shipment_stays = fold(&shipments)?;
+        let container_stays = fold(&containers)?;
         retrieval_wall = t0.elapsed();
-        let mut shipment_stays = HashMap::with_capacity(shipments.len());
-        for (key, events) in shipments.iter().zip(&ship_events) {
-            events_scanned += events.len();
-            shipment_stays.insert(*key, build_stays(events, tau));
-        }
-        let mut container_stays = HashMap::with_capacity(containers.len());
-        for (key, events) in containers.iter().zip(&cont_events) {
-            events_scanned += events.len();
-            container_stays.insert(*key, build_stays(events, tau));
-        }
         Ok(temporal_join(&shipment_stays, &container_stays))
     })?;
     query_span.record("records", records.len() as u64);
     query_span.record("events_scanned", events_scanned as u64);
     query_span.record("blocks", stats.blocks_deserialized());
     query_span.record("workers", workers as u64);
+    query_span.record("peak_buffered", peak_buffered_events as u64);
     Ok(JoinOutcome {
         records,
         events_scanned,
         stats,
         retrieval_wall,
+        peak_buffered_events,
     })
 }
 
@@ -208,5 +317,30 @@ mod tests {
         // Empty key list.
         let none = events_for_keys_parallel(&TqfEngine, &ledger, &[], tau, 4).unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn parallel_streaming_keeps_buffering_bounded() {
+        let dir = TempDir::new("bounded");
+        let workload = generate_scaled(DatasetId::Ds3, 60);
+        let ledger = fabric_ledger::Ledger::open(&dir.0, LedgerConfig::default()).unwrap();
+        ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
+        let tau = Interval::new(0, workload.params.t_max);
+        let par = ferry_query_parallel(&TqfEngine, &ledger, tau, 4).unwrap();
+        let keys = workload.keys().len();
+        assert!(
+            par.peak_buffered_events <= SLOT_CAPACITY * keys,
+            "peak {} exceeds hard bound",
+            par.peak_buffered_events
+        );
+        let seq = ferry_query(&TqfEngine, &ledger, tau).unwrap();
+        assert_eq!(seq.peak_buffered_events, 0, "serial path never buffers");
+        assert_eq!(par.records, seq.records);
     }
 }

@@ -10,63 +10,32 @@
 //! bottleneck both models in this crate exist to remove.
 
 use fabric_ledger::{Ledger, Result};
-use fabric_workload::{EntityId, EntityKind, Event};
+use fabric_workload::{EntityId, Event};
 
-use crate::engine::{decode_event, TemporalEngine};
+use crate::cursor::{drain, EventCursor, TqfCursor};
+use crate::engine::TemporalEngine;
 use crate::interval::Interval;
 
 /// The baseline engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TqfEngine;
 
-/// Scan the state database for every entity key of `kind` (a range-scan
-/// query, as TQF's first step prescribes). Composite or metadata keys that
-/// do not parse as entity ids are skipped.
-pub fn scan_entity_keys(ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>> {
-    let prefix = [kind.prefix()];
-    let end = [kind.prefix() + 1];
-    let rows = ledger.get_state_by_range(Some(&prefix), Some(&end))?;
-    let mut keys: Vec<EntityId> = rows
-        .iter()
-        .filter_map(|(k, _)| EntityId::from_key(k))
-        .collect();
-    keys.sort_unstable();
-    keys.dedup();
-    Ok(keys)
-}
-
 impl TemporalEngine for TqfEngine {
     fn name(&self) -> String {
         "TQF".to_string()
     }
 
-    fn list_keys(&self, ledger: &Ledger, kind: EntityKind) -> Result<Vec<EntityId>> {
-        scan_entity_keys(ledger, kind)
+    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
+        drain(&mut TqfCursor::new(ledger, key, tau)?)
     }
 
-    fn events_for_key(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<Vec<Event>> {
-        let _span = ledger
-            .telemetry()
-            .span("tqf.key")
-            .with_label(key.to_string());
-        let mut iter = ledger.get_history_for_key(&key.key())?;
-        let mut out = Vec::new();
-        while let Some(state) = iter.next()? {
-            let Some(value) = &state.value else {
-                continue; // deletions carry no event payload
-            };
-            let event = decode_event(key, value)?;
-            // History is in commit order and events were ingested sorted by
-            // time, so once past te the remaining blocks can be skipped —
-            // the lazy iterator then never deserializes them.
-            if event.time > tau.end {
-                break;
-            }
-            if tau.contains(event.time) {
-                out.push(event);
-            }
-        }
-        Ok(out)
+    fn events_cursor<'l>(
+        &self,
+        ledger: &'l Ledger,
+        key: EntityId,
+        tau: Interval,
+    ) -> Result<Box<dyn EventCursor + 'l>> {
+        Ok(Box::new(TqfCursor::new(ledger, key, tau)?))
     }
 }
 
@@ -75,7 +44,7 @@ mod tests {
     use super::*;
     use fabric_ledger::{Ledger, LedgerConfig};
     use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
-    use fabric_workload::EventKind;
+    use fabric_workload::{EntityKind, EventKind};
 
     struct TempDir(std::path::PathBuf);
     impl TempDir {

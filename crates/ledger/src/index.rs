@@ -3,9 +3,13 @@
 //! Three keyspaces share the store, separated by a one-byte prefix:
 //!
 //! * `B` + `block_num: u64 BE` → [`BlockLocation`] (16 bytes)
-//! * `H` + `key` + `0x00` + `block_num: u64 BE` + `tx_num: u32 BE` → empty
-//!   — the Fabric-style history index (`ns~key~blockNo~tranNo`). User keys
-//!   may not contain `0x00`, which [`crate::tx::Transaction::new`] enforces.
+//! * `H` + `key` + `0x00` + `block_num: u64 BE` + `tx_num: u32 BE` →
+//!   `timestamp: u64 LE` — the Fabric-style history index
+//!   (`ns~key~blockNo~tranNo`), extended with the writing transaction's
+//!   timestamp so planners can bound scan costs without touching block
+//!   files. Indexes written before this extension hold empty values, which
+//!   read back as "timestamp unknown". User keys may not contain `0x00`,
+//!   which [`crate::tx::Transaction::new`] enforces.
 //! * `T` + `tx_id` (32 bytes) → `block_num: u64 LE` + `tx_num: u32 LE`
 //!   — Fabric's transaction-id index (`GetTransactionByID`)
 //! * `M` + name → chain metadata (height, last hash)
@@ -21,7 +25,7 @@ use fabric_kvstore::{KvStore, WriteBatch};
 use crate::blockfile::BlockLocation;
 use crate::error::{Error, Result};
 use crate::hash::Digest;
-use crate::tx::{BlockNum, TxNum};
+use crate::tx::{BlockNum, Timestamp, TxNum};
 
 const PREFIX_BLOCK: u8 = b'B';
 const PREFIX_HISTORY: u8 = b'H';
@@ -45,8 +49,9 @@ pub struct BlockIndexEntry {
     pub block_num: BlockNum,
     /// Where the block landed in the block files.
     pub location: BlockLocation,
-    /// `(key, tx_num)` history entries for the block's valid transactions.
-    pub history: Vec<(Bytes, TxNum)>,
+    /// `(key, tx_num, tx_timestamp)` history entries for the block's valid
+    /// transactions.
+    pub history: Vec<(Bytes, TxNum, Timestamp)>,
     /// `(tx_id, tx_num)` pairs for the transaction-id index.
     pub tx_ids: Vec<(crate::tx::TxId, TxNum)>,
     /// Chain tip after this block.
@@ -60,6 +65,19 @@ pub struct HistoryLocation {
     pub block_num: BlockNum,
     /// Transaction index within the block.
     pub tx_num: TxNum,
+}
+
+/// One history-index entry with its stored metadata: position plus the
+/// writing transaction's timestamp when the index recorded one. This is
+/// everything a cost-based planner can learn about a key's history from
+/// the index alone, without deserializing any block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryEntryMeta {
+    /// Where the write committed.
+    pub location: HistoryLocation,
+    /// The writing transaction's timestamp, or `None` for entries written
+    /// by pre-timestamp index versions.
+    pub timestamp: Option<Timestamp>,
 }
 
 /// Persistent chain tip recorded in the metadata keyspace.
@@ -128,7 +146,7 @@ impl LedgerIndex {
         &self,
         block_num: BlockNum,
         location: BlockLocation,
-        history_entries: &[(Bytes, TxNum)],
+        history_entries: &[(Bytes, TxNum, Timestamp)],
         tx_ids: &[(crate::tx::TxId, TxNum)],
         tip: ChainTip,
     ) -> Result<()> {
@@ -160,14 +178,17 @@ impl LedgerIndex {
     fn block_batch(
         block_num: BlockNum,
         location: BlockLocation,
-        history_entries: &[(Bytes, TxNum)],
+        history_entries: &[(Bytes, TxNum, Timestamp)],
         tx_ids: &[(crate::tx::TxId, TxNum)],
         tip: ChainTip,
     ) -> WriteBatch {
         let mut batch = WriteBatch::new();
         batch.put(block_key(block_num), location.encode().to_vec());
-        for (key, tx_num) in history_entries {
-            batch.put(history_key(key, block_num, *tx_num), Bytes::new());
+        for (key, tx_num, tx_ts) in history_entries {
+            batch.put(
+                history_key(key, block_num, *tx_num),
+                tx_ts.to_le_bytes().to_vec(),
+            );
         }
         for (id, tx_num) in tx_ids {
             let mut loc = Vec::with_capacity(12);
@@ -195,10 +216,21 @@ impl LedgerIndex {
     /// This is an index scan (cheap, ordered); the expensive part of a
     /// history read is deserializing the blocks these point at.
     pub fn history_locations(&self, key: &[u8]) -> Result<Vec<HistoryLocation>> {
+        Ok(self
+            .history_profile(key)?
+            .into_iter()
+            .map(|e| e.location)
+            .collect())
+    }
+
+    /// All history entries for `key` with their stored timestamps, oldest
+    /// first. Like [`LedgerIndex::history_locations`] this touches only the
+    /// index, never the block files.
+    pub fn history_profile(&self, key: &[u8]) -> Result<Vec<HistoryEntryMeta>> {
         let prefix = history_prefix(key);
         let mut iter = self.db.prefix(&prefix)?;
         let mut out = Vec::new();
-        while let Some((k, _)) = iter.next()? {
+        while let Some((k, v)) = iter.next()? {
             let suffix = &k[prefix.len()..];
             if suffix.len() != 12 {
                 return Err(Error::InvalidArgument(format!(
@@ -206,9 +238,22 @@ impl LedgerIndex {
                     suffix.len()
                 )));
             }
-            out.push(HistoryLocation {
-                block_num: u64::from_be_bytes(suffix[..8].try_into().unwrap()),
-                tx_num: u32::from_be_bytes(suffix[8..12].try_into().unwrap()),
+            let timestamp = match v.len() {
+                // Pre-timestamp index versions stored empty values.
+                0 => None,
+                8 => Some(Timestamp::from_le_bytes(v[..8].try_into().unwrap())),
+                n => {
+                    return Err(Error::InvalidArgument(format!(
+                        "malformed history index value ({n} bytes)"
+                    )));
+                }
+            };
+            out.push(HistoryEntryMeta {
+                location: HistoryLocation {
+                    block_num: u64::from_be_bytes(suffix[..8].try_into().unwrap()),
+                    tx_num: u32::from_be_bytes(suffix[8..12].try_into().unwrap()),
+                },
+                timestamp,
             });
         }
         Ok(out)
@@ -329,12 +374,12 @@ mod tests {
             last_hash: Digest::ZERO,
         };
         // Insert out of block order to prove ordering comes from the index.
-        idx.index_block(10, loc(1), &[(key.clone(), 2)], &[], tip(11))
+        idx.index_block(10, loc(1), &[(key.clone(), 2, 100)], &[], tip(11))
             .unwrap();
         idx.index_block(
             3,
             loc(2),
-            &[(key.clone(), 0), (key.clone(), 7)],
+            &[(key.clone(), 0, 30), (key.clone(), 7, 31)],
             &[],
             tip(11),
         )
@@ -373,8 +418,8 @@ mod tests {
             0,
             loc(0),
             &[
-                (Bytes::from_static(b"ship"), 0),
-                (Bytes::from_static(b"ship-1"), 1),
+                (Bytes::from_static(b"ship"), 0, 1),
+                (Bytes::from_static(b"ship-1"), 1, 2),
             ],
             &[],
             tip,
@@ -406,7 +451,7 @@ mod tests {
             .map(|n| BlockIndexEntry {
                 block_num: n,
                 location: loc(n as u32),
-                history: vec![(Bytes::from(format!("k{}", n % 2)), 0)],
+                history: vec![(Bytes::from(format!("k{}", n % 2)), 0, n * 10)],
                 tx_ids: vec![(crate::tx::TxId(Digest([n as u8; 32])), 0)],
                 tip: ChainTip {
                     height: n + 1,
@@ -451,9 +496,9 @@ mod tests {
         };
         let key = Bytes::from_static(b"k");
         // Block 255 vs 256 would sort wrongly under a naive LE encoding.
-        idx.index_block(256, loc(2), &[(key.clone(), 0)], &[], tip)
+        idx.index_block(256, loc(2), &[(key.clone(), 0, 256)], &[], tip)
             .unwrap();
-        idx.index_block(255, loc(1), &[(key.clone(), 0)], &[], tip)
+        idx.index_block(255, loc(1), &[(key.clone(), 0, 255)], &[], tip)
             .unwrap();
         let locs = idx.history_locations(b"k").unwrap();
         assert_eq!(locs[0].block_num, 255);

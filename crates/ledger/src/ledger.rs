@@ -45,7 +45,7 @@ pub type StateUpdate = (Bytes, Option<Bytes>, Version);
 /// Everything a committed block contributes to the indexes:
 /// history entries, state updates, and tx-id index entries.
 type BlockEffects = (
-    Vec<(Bytes, TxNum)>,
+    Vec<(Bytes, TxNum, Timestamp)>,
     Vec<StateUpdate>,
     Vec<(crate::tx::TxId, TxNum)>,
 );
@@ -363,7 +363,16 @@ impl CommitPipeline {
     /// Hand a block to the append worker (blocking on channel capacity).
     fn send(&self, item: AppendItem) -> Result<()> {
         let event = item.event;
-        let sender = self.append_tx.as_ref().expect("pipeline running");
+        let Some(sender) = self.append_tx.as_ref() else {
+            // The pipeline is winding down (or was never started): balance
+            // the completion barrier and fail the submit cleanly.
+            self.shared.complete(event);
+            self.shared.complete(event);
+            return Err(Error::io(
+                "commit pipeline".to_string(),
+                std::io::Error::other("commit pipeline is not running"),
+            ));
+        };
         match sender.send(item) {
             Ok(()) => Ok(()),
             Err(_) => {
@@ -531,7 +540,7 @@ impl Ledger {
             }
             let tx_num = i as TxNum;
             for w in &tx.writes {
-                history.push((w.key.clone(), tx_num));
+                history.push((w.key.clone(), tx_num, tx.timestamp));
                 latest.insert(
                     w.key.clone(),
                     (
@@ -898,6 +907,38 @@ impl Ledger {
     /// the scan needs. Laziness is preserved run-by-run: a block is not
     /// touched until its first entry is consumed.
     pub fn get_history_for_key(&self, key: &[u8]) -> Result<HistoryIterator<'_>> {
+        self.history_iterator(key, None)
+    }
+
+    /// Bounded variant of [`Ledger::get_history_for_key`]: skips history
+    /// entries whose **recorded** transaction timestamp is `<= after_ts`.
+    /// Entries with no recorded timestamp (pre-timestamp indexes) are kept,
+    /// so the scan only ever skips entries it can prove are old. Because a
+    /// transaction's timestamp is an upper bound on the event times it
+    /// carries, a skipped entry cannot contribute an event later than
+    /// `after_ts` — which makes this safe as the residual scan of a hybrid
+    /// plan that already covered everything up to `after_ts` from an index.
+    pub fn get_history_for_key_from(
+        &self,
+        key: &[u8],
+        after_ts: Timestamp,
+    ) -> Result<HistoryIterator<'_>> {
+        self.history_iterator(key, Some(after_ts))
+    }
+
+    /// The key's history-index entries with their recorded transaction
+    /// timestamps, oldest first. A pure index scan: no block files are
+    /// touched and no [`IoStats`] query counter moves, so planners can call
+    /// this freely to cost access paths before executing one.
+    pub fn history_profile(&self, key: &[u8]) -> Result<Vec<crate::index::HistoryEntryMeta>> {
+        self.index.history_profile(key)
+    }
+
+    fn history_iterator(
+        &self,
+        key: &[u8],
+        after_ts: Option<Timestamp>,
+    ) -> Result<HistoryIterator<'_>> {
         IoStats::incr(&self.stats.ghfk_calls);
         // The span lives inside the iterator: per-block deserialize spans
         // nest under it for as long as the cursor is alive, so a trace
@@ -906,8 +947,28 @@ impl Ledger {
             .tel
             .span("ghfk")
             .with_label(String::from_utf8_lossy(key).into_owned());
-        let locations = self.index.history_locations(key)?;
+        let locations: Vec<HistoryLocation> = match after_ts {
+            None => self.index.history_locations(key)?,
+            Some(bound) => self
+                .index
+                .history_profile(key)?
+                .into_iter()
+                .filter(|e| match e.timestamp {
+                    Some(ts) => ts > bound,
+                    None => true,
+                })
+                .map(|e| e.location)
+                .collect(),
+        };
         let remaining = locations.len();
+        let mut blocks_hint = 0usize;
+        let mut prev_block = None;
+        for loc in &locations {
+            if prev_block != Some(loc.block_num) {
+                blocks_hint += 1;
+                prev_block = Some(loc.block_num);
+            }
+        }
         let source = if self.coalesce_history {
             let mut runs: Vec<(BlockNum, Vec<TxNum>)> = Vec::new();
             for loc in locations {
@@ -931,6 +992,7 @@ impl Ledger {
             key: Bytes::copy_from_slice(key),
             source,
             remaining,
+            blocks_hint,
             span,
         })
     }
@@ -1145,6 +1207,8 @@ pub struct HistoryIterator<'l> {
     source: HistorySource,
     /// Entries not yet yielded.
     remaining: usize,
+    /// Distinct blocks the full scan would touch (fixed at construction).
+    blocks_hint: usize,
     /// Open `ghfk` span; per-block `block.deserialize` spans nest under
     /// it until the iterator is dropped. Each consumed entry bumps the
     /// span's `entries` metric.
@@ -1257,6 +1321,14 @@ impl<'l> HistoryIterator<'l> {
     /// How many history entries remain (index entries, not blocks).
     pub fn remaining_hint(&self) -> usize {
         self.remaining
+    }
+
+    /// How many **distinct blocks** the full scan would deserialize at
+    /// most, fixed at construction. A tighter planning bound than
+    /// [`HistoryIterator::remaining_hint`] whenever a block holds several
+    /// of the key's writes.
+    pub fn blocks_hint(&self) -> usize {
+        self.blocks_hint
     }
 }
 

@@ -75,6 +75,7 @@ pub use config::LedgerConfig;
 pub use error::{Error, Result};
 pub use fabric_telemetry::Telemetry;
 pub use hash::{sha256, Digest};
+pub use index::HistoryEntryMeta;
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use ledger::{CommitEvent, HistoricalState, HistoryIterator, Ledger, StateUpdate};
 pub use shim::TxSimulator;
