@@ -40,6 +40,10 @@ pub struct Ctx {
     /// Write a machine-readable [`crate::regress::BenchFile`] of per-engine
     /// medians to this path (`--json-out path` / `TF_JSON_OUT=path`).
     pub json_out: Option<PathBuf>,
+    /// Append the auto-planner's calibration records (decision + measured
+    /// actuals) to this JSONL path (`--planner-log path` /
+    /// `TF_PLANNER_LOG=path`); read back by `tfq planner-report`.
+    pub planner_log: Option<PathBuf>,
 }
 
 impl Ctx {
@@ -70,6 +74,17 @@ impl Ctx {
                     .filter(|v| !v.is_empty())
                     .map(PathBuf::from)
             });
+        let planner_log = args
+            .iter()
+            .position(|a| a == "--planner-log")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .or_else(|| {
+                std::env::var("TF_PLANNER_LOG")
+                    .ok()
+                    .filter(|v| !v.is_empty())
+                    .map(PathBuf::from)
+            });
         let data_root = std::env::var("TF_DATA_ROOT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| {
@@ -81,6 +96,19 @@ impl Ctx {
             sim: SimCostModel::default(),
             telemetry,
             json_out,
+            planner_log,
+        }
+    }
+
+    /// Open the planner calibration log, when one was requested.
+    pub fn open_planner_log(&self) -> Option<std::sync::Arc<temporal_core::PlannerLog>> {
+        let path = self.planner_log.as_ref()?;
+        match temporal_core::PlannerLog::open(path) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!("warning: cannot open planner log {}: {e}", path.display());
+                None
+            }
         }
     }
 

@@ -107,6 +107,10 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         "records",
     ]);
     let mut jsonl = String::new();
+    // Calibration sink for the auto-planner ablation (`--planner-log`):
+    // every auto query's certified bounds + measured actuals, stamped with
+    // the dataset currently under test.
+    let planner_log = ctx.open_planner_log();
     // Raw samples for the machine-readable bench file: one entry per
     // (dataset/mode/engine/metric) per window, reduced to medians at the end.
     let mut samples: Vec<(String, MetricKind, f64)> = Vec::new();
@@ -153,6 +157,9 @@ pub fn run(ctx: &Ctx) -> Result<String> {
         (DatasetId::Ds3, IngestMode::SingleEvent, vec![2000]),
     ] {
         let u_index = ctx.scale_time(id, 2000);
+        if let Some(log) = &planner_log {
+            log.set_dataset(&id.to_string().to_lowercase());
+        }
         eprintln!("[table1] building ledgers for {id} ({mode}) ...");
         let m1_ledger = ctx.m1_ledger(id, mode, u_index)?;
         let m2_ledgers: Vec<(u64, Ledger)> = m2_us
@@ -247,7 +254,11 @@ pub fn run(ctx: &Ctx) -> Result<String> {
             // Planner ablation: auto runs on the same base+M1 ledger and
             // must never deserialize more blocks than the better of the
             // two fixed engines it chooses between.
-            let (auto, snap) = run_engine(ctx, &AutoEngine, &m1_ledger, tau)?;
+            let auto_engine = match &planner_log {
+                Some(log) => AutoEngine::with_log(log.clone()),
+                None => AutoEngine::default(),
+            };
+            let (auto, snap) = run_engine(ctx, &auto_engine, &m1_ledger, tau)?;
             if let Some(snap) = snap {
                 jsonl.push_str(&telemetry_line(snap, id, mode, "Auto", tau, &auto));
                 jsonl.push('\n');

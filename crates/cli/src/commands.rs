@@ -30,6 +30,9 @@ const USAGE: &str = "usage: tfq <command> ...
   plan    <dir> <key> <t1> <t2>
   stats   <dir> <t1> <t2>       [--engine tqf|m1|m2|auto] [--u U] [--format table|json|csv]
   trace   <dir> <t1> <t2>       [--key K] [--engine tqf|m1|m2|auto] [--u U]
+                                [--export chrome] [--out PATH] [--workers N]
+                                [--ingest ds1|ds2|ds3] [--scale N]
+  planner-report <log.jsonl>
   index   <dir> --u U [--from T1] [--to T2] [--m1-index-threads N]
   backup  <dir> <dest-dir>
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
@@ -106,6 +109,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("plan") => plan(&args),
         Some("stats") => stats(&args),
         Some("trace") => trace(&args),
+        Some("planner-report") => planner_report(&args),
         Some("index") => index(&args),
         Some("backup") => backup(&args),
         Some("export-trace") => export_trace(&args),
@@ -336,7 +340,7 @@ fn pick_engine(args: &Args) -> Result<Box<dyn TemporalEngine + Sync>, String> {
                 .ok_or_else(|| "--engine m2 requires --u".to_string())?;
             Ok(Box::new(M2Engine { u }))
         }
-        "auto" => Ok(Box::new(AutoEngine)),
+        "auto" => Ok(Box::new(AutoEngine::default())),
         other => Err(format!("unknown engine '{other}' (tqf|m1|m2|auto)")),
     }
 }
@@ -420,7 +424,7 @@ fn explain(args: &Args) -> CliResult {
                 .ok_or_else(|| "--engine m2 requires --u".to_string())?;
             M2Engine { u }.explain(&ledger, key, tau)
         }
-        "auto" => AutoEngine.explain(&ledger, key, tau),
+        "auto" => AutoEngine::default().explain(&ledger, key, tau),
         other => return Err(format!("unknown engine '{other}' (tqf|m1|m2|auto)")),
     }
     .map_err(led)?;
@@ -447,7 +451,7 @@ fn analyze(args: &Args) -> CliResult {
                 .ok_or_else(|| "--engine m2 requires --u".to_string())?;
             explain_analyze(&M2Engine { u }, &ledger, key, tau)
         }
-        "auto" => explain_analyze(&AutoEngine, &ledger, key, tau),
+        "auto" => explain_analyze(&AutoEngine::default(), &ledger, key, tau),
         other => return Err(format!("unknown engine '{other}' (tqf|m1|m2|auto)")),
     }
     .map_err(led)?;
@@ -463,7 +467,7 @@ fn plan(args: &Args) -> CliResult {
     let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
         .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
     let tau = parse_tau(args, 3)?;
-    let choice = AutoEngine.choose(&ledger, key, tau).map_err(led)?;
+    let choice = AutoEngine::default().choose(&ledger, key, tau).map_err(led)?;
     print!("{}", choice.render());
     Ok(())
 }
@@ -511,17 +515,137 @@ fn trace(args: &Args) -> CliResult {
         ),
         None => None,
     };
-    let (summary, tree) = trace_query(&ledger, engine.as_ref(), tau, key).map_err(led)?;
-    println!("{summary}");
-    print!("{}", fabric_telemetry::render_tree(&tree));
-    let depth = tree.iter().map(|n| n.depth()).max().unwrap_or(0);
-    println!("deepest nesting: {depth} level(s)");
+    let export = match args.opt("export") {
+        None => None,
+        Some("chrome") => Some("chrome"),
+        Some(other) => return Err(format!("--export must be chrome, got '{other}'")),
+    };
+    let workers = args.opt_u64("workers")?.unwrap_or(0) as usize;
+
+    let tel = ledger.telemetry();
+    let was_enabled = tel.is_enabled();
+    tel.enable();
+    let _ = tel.drain_spans();
+
+    // Optional in-process ingest under the same recording session. With
+    // `--pipeline on` the commit-stage worker spans (commit.append/index/
+    // statedb) land in the export alongside the query, each parented under
+    // the ledger.commit span that submitted its block.
+    let mut summary = String::new();
+    if let Some(ds) = args.opt("ingest") {
+        let id = match ds {
+            "ds1" => DatasetId::Ds1,
+            "ds2" => DatasetId::Ds2,
+            "ds3" => DatasetId::Ds3,
+            other => return Err(format!("unknown dataset '{other}' (ds1|ds2|ds3)")),
+        };
+        let scale = args.opt_u64("scale")?.unwrap_or(40) as u32;
+        let workload = if scale <= 1 {
+            dataset::generate(id)
+        } else {
+            dataset::generate_scaled(id, scale)
+        };
+        let report = ingest(
+            &ledger,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .map_err(led)?;
+        summary.push_str(&format!(
+            "ingested {id} (scale 1/{scale}): {} events in {} block(s)\n",
+            report.events, report.blocks
+        ));
+    }
+
+    let query_summary = match (key, workers) {
+        (Some(k), 0) => {
+            let events = engine.events_for_key(&ledger, k, tau).map_err(led)?;
+            format!(
+                "{} event(s) for {k} via {} over {tau}",
+                events.len(),
+                engine.name()
+            )
+        }
+        (Some(k), w) => {
+            let per_key =
+                temporal_core::events_for_keys_parallel(engine.as_ref(), &ledger, &[k], tau, w)
+                    .map_err(led)?;
+            format!(
+                "{} event(s) for {k} via {} over {tau} ({w} worker(s))",
+                per_key[0].len(),
+                engine.name()
+            )
+        }
+        (None, 0) => {
+            let outcome = ferry_query(engine.as_ref(), &ledger, tau).map_err(led)?;
+            format!(
+                "{} record(s) via {} over {tau}",
+                outcome.records.len(),
+                engine.name()
+            )
+        }
+        (None, w) => {
+            let outcome =
+                temporal_core::ferry_query_parallel(engine.as_ref(), &ledger, tau, w)
+                    .map_err(led)?;
+            format!(
+                "{} record(s) via {} over {tau} ({w} worker(s))",
+                outcome.records.len(),
+                engine.name()
+            )
+        }
+    };
+    summary.push_str(&query_summary);
+
+    let records = tel.drain_spans();
+    if !was_enabled {
+        tel.disable();
+    }
+
+    match export {
+        Some(_) => {
+            let json = fabric_telemetry::chrome_trace(&records);
+            match args.opt("out") {
+                Some(path) => {
+                    std::fs::write(path, &json)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("{summary}");
+                    println!(
+                        "wrote {} span(s) as Chrome trace events to {path}",
+                        records.len()
+                    );
+                }
+                None => println!("{json}"),
+            }
+        }
+        None => {
+            println!("{summary}");
+            let tree = fabric_telemetry::build_tree(records);
+            print!("{}", fabric_telemetry::render_tree(&tree));
+            let depth = tree.iter().map(|n| n.depth()).max().unwrap_or(0);
+            println!("deepest nesting: {depth} level(s)");
+        }
+    }
+    Ok(())
+}
+
+fn planner_report(args: &Args) -> CliResult {
+    let path = args.pos(1, "log.jsonl")?;
+    let records = temporal_core::PlannerLog::load(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{path} holds no planner records"));
+    }
+    let groups = temporal_core::calibrate::aggregate(&records);
+    print!("{}", temporal_core::calibrate::render_report(&groups));
     Ok(())
 }
 
 /// Run one query with telemetry enabled and return a summary line plus the
 /// collected span forest. With a key, only that key's events are traced;
 /// without, the whole ferry join runs under the trace.
+#[cfg(test)]
 fn trace_query(
     ledger: &Ledger,
     engine: &dyn TemporalEngine,
@@ -704,6 +828,67 @@ mod tests {
         assert!(rendered.contains("query.ferry"), "{rendered}");
         assert!(rendered.contains("ghfk"), "{rendered}");
         assert!(rendered.contains("block.deserialize"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_chrome_export_covers_pipeline_and_workers() {
+        let dir = TempDir::new("chrome");
+        let out = std::env::temp_dir().join(format!("tfq-chrome-{}.json", std::process::id()));
+        // One invocation: pipelined ingest + parallel query, exported as a
+        // Chrome trace. The acceptance shape for the observability PR.
+        run(&[
+            "trace",
+            dir.s(),
+            "0",
+            "5000",
+            "--ingest",
+            "ds3",
+            "--scale",
+            "300",
+            "--pipeline",
+            "on",
+            "--workers",
+            "2",
+            "--export",
+            "chrome",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        // Commit-stage lanes from the pipelined ingest...
+        assert!(json.contains("\"name\":\"commit.append\""), "{json}");
+        // ...and per-cursor worker lanes from the parallel query.
+        assert!(json.contains("\"name\":\"query.worker.key\""), "{json}");
+        assert!(json.contains("\"name\":\"query.ferry.parallel\""), "{json}");
+        assert!(run(&["trace", dir.s(), "0", "5000", "--export", "svg"]).is_err());
+    }
+
+    #[test]
+    fn planner_report_from_logged_queries() {
+        let dir = TempDir::new("plog");
+        run(&["demo", dir.s(), "ds3", "--scale", "300"]).unwrap();
+        run(&["index", dir.s(), "--u", "2000"]).unwrap();
+        let log_path = std::env::temp_dir().join(format!("tfq-plog-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&log_path);
+        {
+            let ledger = Ledger::open(dir.s(), LedgerConfig::default()).unwrap();
+            let log = temporal_core::PlannerLog::open(&log_path).unwrap();
+            log.set_dataset("ds3");
+            let auto = temporal_core::AutoEngine::with_log(log);
+            for t2 in [2000u64, 5000] {
+                let key = EntityId::from_key(b"S00000").unwrap();
+                let mut cur = auto
+                    .events_cursor(&ledger, key, Interval::new(0, t2))
+                    .unwrap();
+                while cur.next_event().unwrap().is_some() {}
+            }
+        }
+        run(&["planner-report", log_path.to_str().unwrap()]).unwrap();
+        assert!(run(&["planner-report", "/nonexistent/x.jsonl"]).is_err());
+        let _ = std::fs::remove_file(&log_path);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod analytics;
 pub mod analyze;
 pub mod base_api;
+pub mod calibrate;
 pub mod cursor;
 pub mod engine;
 pub mod evset;
@@ -70,6 +71,7 @@ pub mod tqf;
 
 pub use analyze::{explain_analyze, AnalyzedPlan, StepMeasurement};
 pub use base_api::M2BaseApi;
+pub use calibrate::{CalibratedCursor, CalibrationGroup, PlannerLog, PlannerRecord};
 pub use cursor::{drain, EventCursor, VecCursor};
 pub use engine::TemporalEngine;
 pub use evset::{EvSet, TemporalEvent};

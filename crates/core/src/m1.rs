@@ -304,6 +304,10 @@ impl<'s> M1Indexer<'s> {
         let mut slots: Vec<Slot> = Vec::with_capacity(keys.len());
         slots.resize_with(keys.len(), || std::sync::Mutex::new(None));
         let next = std::sync::atomic::AtomicUsize::new(0);
+        // Handoff token: per-key build spans on the workers parent under
+        // the `m1.build` span open on this thread.
+        let tel = ledger.telemetry();
+        let ctx = tel.current_context();
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| loop {
@@ -311,7 +315,14 @@ impl<'s> M1Indexer<'s> {
                     if i >= keys.len() {
                         break;
                     }
-                    *slots[i].lock().expect("slot mutex poisoned") = Some(prepare_one(keys[i]));
+                    let mut span = tel
+                        .span_in("m1.prepare.key", ctx)
+                        .with_label(format!("{}", keys[i]));
+                    let prepared = prepare_one(keys[i]);
+                    if let Ok(pairs) = &prepared {
+                        span.record("ev_sets", pairs.len() as u64);
+                    }
+                    *slots[i].lock().expect("slot mutex poisoned") = Some(prepared);
                 });
             }
         })

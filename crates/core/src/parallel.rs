@@ -17,8 +17,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use fabric_ledger::{Error, Ledger, Result};
+use fabric_telemetry::QueueProbe;
 use fabric_workload::{EntityId, EntityKind, Event};
 
 use crate::engine::TemporalEngine;
@@ -79,11 +81,22 @@ where
     let next = AtomicUsize::new(0);
     let in_flight = AtomicUsize::new(0);
     let peak = AtomicUsize::new(0);
+    let tel = ledger.telemetry();
+    // Handoff token: worker-side cursor spans parent under whatever query
+    // span is open on this (the submitting) thread, so the fan-out shows
+    // as one tree in the flight recorder.
+    let ctx = tel.current_context();
+    // One aggregate probe for all slot channels: depth is total buffered
+    // events across slots, waits capture producer (slot full) and consumer
+    // (slot empty) stalls.
+    let probe = QueueProbe::new(tel, "query.slots");
 
     let mut outcome: Result<()> = Ok(());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let probe = &probe;
+            let (next, in_flight, peak, senders) = (&next, &in_flight, &peak, &senders);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= keys.len() {
                     break;
@@ -93,6 +106,10 @@ where
                     .expect("slot sender mutex poisoned")
                     .take()
                     .expect("slot sender claimed twice");
+                let mut key_span = tel
+                    .span_in("query.worker.key", ctx)
+                    .with_label(format!("{}", keys[i]));
+                let mut sent = 0u64;
                 let produced = (|| -> Result<()> {
                     let mut cursor = engine.events_cursor(ledger, keys[i], tau)?;
                     while let Some(ev) = cursor.next_event()? {
@@ -101,16 +118,31 @@ where
                         // ahead of the increment and underflow.
                         let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
                         peak.fetch_max(now, Ordering::Relaxed);
-                        if tx.send(Ok(ev)).is_err() {
+                        let ok = if probe.is_live() {
+                            let t0 = Instant::now();
+                            let ok = tx.send(Ok(ev)).is_ok();
+                            probe.send_waited_ns(t0.elapsed().as_nanos() as u64);
+                            if ok {
+                                probe.enqueued();
+                            }
+                            ok
+                        } else {
+                            tx.send(Ok(ev)).is_ok()
+                        };
+                        if !ok {
                             // Consumer bailed: abandon the cursor early.
                             in_flight.fetch_sub(1, Ordering::Relaxed);
                             return Ok(());
                         }
+                        sent += 1;
                     }
                     Ok(())
                 })();
+                key_span.record("events", sent);
                 if let Err(e) = produced {
-                    let _ = tx.send(Err(e));
+                    if tx.send(Err(e)).is_ok() {
+                        probe.enqueued();
+                    }
                 }
                 // Dropping the sender closes the slot.
             });
@@ -124,7 +156,17 @@ where
                 continue;
             }
             loop {
-                match rx.recv() {
+                let received = if probe.is_live() {
+                    let t0 = Instant::now();
+                    let r = rx.recv();
+                    if r.is_ok() {
+                        probe.drained(1, t0.elapsed().as_nanos() as u64);
+                    }
+                    r
+                } else {
+                    rx.recv()
+                };
+                match received {
                     Ok(Ok(ev)) => {
                         in_flight.fetch_sub(1, Ordering::Relaxed);
                         if let Err(e) = consume(i, ev) {

@@ -190,8 +190,25 @@ fn occupied_theta_blocks(ledger: &Ledger, key: EntityId, thetas: &[Interval]) ->
 /// access path per `(key, τ)` call and delegating to the corresponding
 /// cursor. Results are bit-identical to every fixed engine on the same
 /// ledger; block cost never exceeds the M1 path's.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AutoEngine;
+///
+/// Every cursor it hands out is wrapped in a
+/// [`crate::calibrate::CalibratedCursor`]: when the cursor drops, the
+/// measured I/O is compared against the certified bounds and fed to the
+/// `planner.regret.*` counters, the `planner.calibration.ratio_pct`
+/// histogram, and — when [`AutoEngine::log`] is set — a JSONL calibration
+/// log for `tfq planner-report`.
+#[derive(Debug, Clone, Default)]
+pub struct AutoEngine {
+    /// Optional calibration sink shared across queries.
+    pub log: Option<std::sync::Arc<crate::calibrate::PlannerLog>>,
+}
+
+impl AutoEngine {
+    /// An engine that writes every decision + measured outcome to `log`.
+    pub fn with_log(log: std::sync::Arc<crate::calibrate::PlannerLog>) -> AutoEngine {
+        AutoEngine { log: Some(log) }
+    }
+}
 
 impl AutoEngine {
     /// Plan `(key, tau)` without executing: derive block bounds for the
@@ -318,16 +335,37 @@ impl TemporalEngine for AutoEngine {
         tau: Interval,
     ) -> Result<Box<dyn EventCursor + 'l>> {
         let choice = self.choose(ledger, key, tau)?;
-        ledger.telemetry().count(choice.counter_name(), 1);
-        match choice.path {
-            AccessPath::Tqf => Ok(Box::new(TqfCursor::new(ledger, key, tau)?)),
+        let tel = ledger.telemetry();
+        tel.count(choice.counter_name(), 1);
+        {
+            // Decision span: nests under whatever query span is open on
+            // this thread, so the slow-query log can hoist the chosen
+            // engine and the certified bounds into its summary.
+            let mut span = tel
+                .span("planner.choice")
+                .with_label(choice.plan.engine.clone());
+            span.record("tqf_blocks_lo", choice.tqf_blocks.0);
+            span.record("tqf_blocks_hi", choice.tqf_blocks.1);
+            if let Some((lo, hi)) = choice.m1_blocks {
+                span.record("m1_blocks_lo", lo);
+                span.record("m1_blocks_hi", hi);
+            }
+        }
+        let inner: Box<dyn EventCursor + 'l> = match choice.path {
+            AccessPath::Tqf => Box::new(TqfCursor::new(ledger, key, tau)?),
             AccessPath::M1 { .. } => {
                 // The M1 engine's own cursor recomputes the residual from
                 // the same metadata, so it matches `choice.path` exactly.
-                M1Engine::default().events_cursor(ledger, key, tau)
+                M1Engine::default().events_cursor(ledger, key, tau)?
             }
-            AccessPath::M2 => Ok(Box::new(M2Cursor::new(ledger, key, tau)?)),
-        }
+            AccessPath::M2 => Box::new(M2Cursor::new(ledger, key, tau)?),
+        };
+        Ok(Box::new(crate::calibrate::CalibratedCursor::new(
+            inner,
+            ledger,
+            &choice,
+            self.log.clone(),
+        )))
     }
 }
 

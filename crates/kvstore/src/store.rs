@@ -18,7 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use fabric_telemetry::Telemetry;
+use fabric_telemetry::{QueueProbe, Telemetry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
@@ -55,6 +55,11 @@ pub struct KvStore {
     tel: Telemetry,
     /// Leader/follower queue for [`Options::group_commit`].
     group: GroupCommit,
+    /// Backpressure probe for the group-commit queue: depth is batches
+    /// pending a leader, send-wait is each waiter's enqueue-to-result
+    /// latency, drain-wait is how stale the drained backlog was when a
+    /// leader picked it up.
+    group_probe: QueueProbe,
     /// Serializes compactions so the merge can run outside the writer lock
     /// without two merges racing over the same input tables.
     compaction_gate: Mutex<()>,
@@ -176,6 +181,7 @@ impl KvStore {
                 next_file,
             }),
             metrics: Metrics::default(),
+            group_probe: QueueProbe::new(&tel, "kv.group"),
             tel,
             group: GroupCommit::default(),
             compaction_gate: Mutex::new(()),
@@ -357,15 +363,26 @@ impl KvStore {
     /// a leader to fill this batch's result slot.
     fn write_grouped(&self, batch: WriteBatch) -> Result<()> {
         let slot = Arc::new(WriteSlot::default());
+        let enqueued_at = self
+            .group_probe
+            .is_live()
+            .then(std::time::Instant::now);
+        let wait_ns =
+            |t0: Option<std::time::Instant>| t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let mut state = self.group.state.lock().unwrap_or_else(|e| e.into_inner());
         state.pending.push(PendingWrite {
             batch,
             slot: Arc::clone(&slot),
         });
+        self.group_probe.enqueued();
         loop {
             if !state.leader_running {
                 state.leader_running = true;
                 let work = std::mem::take(&mut state.pending);
+                // The backlog's staleness is bounded by this leader's own
+                // queue residency (it enqueued last).
+                self.group_probe
+                    .drained(work.len() as u64, wait_ns(enqueued_at));
                 drop(state);
                 self.run_group(work);
                 self.group
@@ -374,6 +391,7 @@ impl KvStore {
                     .unwrap_or_else(|e| e.into_inner())
                     .leader_running = false;
                 self.group.cond.notify_all();
+                self.group_probe.send_waited_ns(wait_ns(enqueued_at));
                 return slot
                     .0
                     .lock()
@@ -386,6 +404,7 @@ impl KvStore {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
             if let Some(result) = slot.0.lock().take() {
+                self.group_probe.send_waited_ns(wait_ns(enqueued_at));
                 return result;
             }
             // Woken but not served: this batch arrived after the running

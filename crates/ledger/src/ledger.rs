@@ -24,7 +24,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use fabric_kvstore::KvStore;
-use fabric_telemetry::{SpanGuard, Telemetry};
+use fabric_telemetry::{QueueProbe, SpanContext, SpanGuard, Telemetry};
 
 use crate::block::Block;
 use crate::blockfile::BlockFileManager;
@@ -100,17 +100,21 @@ struct OverlayEntry {
 }
 
 /// Hand-off from stage A (validate + assemble, on the caller thread) to
-/// the append worker.
+/// the append worker. `ctx` is the submitting `ledger.commit` span's
+/// trace context: worker-side spans parent under it so the whole commit
+/// forms one tree in the flight recorder even though it crosses threads.
 struct AppendItem {
     block: Arc<Block>,
     tip: ChainTip,
     event: CommitEvent,
+    ctx: Option<SpanContext>,
 }
 
 /// Hand-off from the append worker to the index worker.
 struct IndexItem {
     entry: BlockIndexEntry,
     event: CommitEvent,
+    ctx: Option<SpanContext>,
 }
 
 /// Hand-off from the append worker to the state worker.
@@ -118,6 +122,7 @@ struct StateItem {
     block_num: BlockNum,
     writes: Vec<StateUpdate>,
     event: CommitEvent,
+    ctx: Option<SpanContext>,
 }
 
 /// State shared between stage A and the three pipeline workers.
@@ -201,6 +206,9 @@ struct CommitPipeline {
     append_tx: Option<mpsc::SyncSender<AppendItem>>,
     shared: Arc<PipelineShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Backpressure probe for the stage-A → append channel; the fan-out
+    /// channels carry their own probes inside the worker closures.
+    append_probe: QueueProbe,
 }
 
 impl CommitPipeline {
@@ -227,12 +235,24 @@ impl CommitPipeline {
         let (append_tx, append_rx) = mpsc::sync_channel::<AppendItem>(Self::DEPTH);
         let (index_tx, index_rx) = mpsc::sync_channel::<IndexItem>(Self::DEPTH);
         let (state_tx, state_rx) = mpsc::sync_channel::<StateItem>(Self::DEPTH);
+        let append_probe = QueueProbe::new(&tel, "pipeline.append");
+        let index_probe = QueueProbe::new(&tel, "pipeline.index");
+        let state_probe = QueueProbe::new(&tel, "pipeline.state");
 
         let append_worker = {
             let shared = shared.clone();
             let tel = tel.clone();
+            let append_probe = append_probe.clone();
+            let index_send = index_probe.clone();
+            let state_send = state_probe.clone();
             std::thread::spawn(move || {
-                while let Ok(AppendItem { block, tip, event }) = append_rx.recv() {
+                while let Ok(AppendItem {
+                    block,
+                    tip,
+                    event,
+                    ctx,
+                }) = append_probe.recv(|| append_rx.recv())
+                {
                     if shared.poisoned() {
                         // Drain mode: balance the barrier for both
                         // skipped fan-out stages.
@@ -241,7 +261,7 @@ impl CommitPipeline {
                         continue;
                     }
                     let appended = {
-                        let _s = tel.span("commit.append");
+                        let _s = tel.span_in("commit.append", ctx);
                         blockfiles.append_block(&block)
                     };
                     let location = match appended {
@@ -255,26 +275,32 @@ impl CommitPipeline {
                     };
                     let (history, writes, tx_ids) = Ledger::collect_effects(&block);
                     let block_num = block.header.number;
-                    if index_tx
-                        .send(IndexItem {
-                            entry: BlockIndexEntry {
-                                block_num,
-                                location,
-                                history,
-                                tx_ids,
-                                tip,
-                            },
-                            event,
+                    if index_send
+                        .send(|| {
+                            index_tx.send(IndexItem {
+                                entry: BlockIndexEntry {
+                                    block_num,
+                                    location,
+                                    history,
+                                    tx_ids,
+                                    tip,
+                                },
+                                event,
+                                ctx,
+                            })
                         })
                         .is_err()
                     {
                         shared.complete(event);
                     }
-                    if state_tx
-                        .send(StateItem {
-                            block_num,
-                            writes,
-                            event,
+                    if state_send
+                        .send(|| {
+                            state_tx.send(StateItem {
+                                block_num,
+                                writes,
+                                event,
+                                ctx,
+                            })
                         })
                         .is_err()
                     {
@@ -296,16 +322,21 @@ impl CommitPipeline {
             let index = index.clone();
             let tel = tel.clone();
             std::thread::spawn(move || {
-                while let Ok(first) = index_rx.recv() {
+                while let Ok(first) = index_probe.recv(|| index_rx.recv()) {
                     let mut items = vec![first];
                     while items.len() < Self::DEPTH {
                         match index_rx.try_recv() {
-                            Ok(item) => items.push(item),
+                            Ok(item) => {
+                                index_probe.drained(1, 0);
+                                items.push(item);
+                            }
                             Err(_) => break,
                         }
                     }
                     if !shared.poisoned() {
-                        let mut span = tel.span("commit.index");
+                        // A drained batch spans several commits; parent the
+                        // worker span under the first item's submitter.
+                        let mut span = tel.span_in("commit.index", items[0].ctx);
                         span.record("blocks", items.len() as u64);
                         if let Err(e) = index.index_blocks(items.iter().map(|i| &i.entry)) {
                             shared.poison(e);
@@ -321,16 +352,19 @@ impl CommitPipeline {
         let state_worker = {
             let shared = shared.clone();
             std::thread::spawn(move || {
-                while let Ok(first) = state_rx.recv() {
+                while let Ok(first) = state_probe.recv(|| state_rx.recv()) {
                     let mut items = vec![first];
                     while items.len() < Self::DEPTH {
                         match state_rx.try_recv() {
-                            Ok(item) => items.push(item),
+                            Ok(item) => {
+                                state_probe.drained(1, 0);
+                                items.push(item);
+                            }
                             Err(_) => break,
                         }
                     }
                     if !shared.poisoned() {
-                        let mut span = tel.span("commit.statedb");
+                        let mut span = tel.span_in("commit.statedb", items[0].ctx);
                         span.record("blocks", items.len() as u64);
                         match state.apply_many(items.iter().map(|i| i.writes.as_slice())) {
                             Ok(()) => {
@@ -357,6 +391,7 @@ impl CommitPipeline {
             append_tx: Some(append_tx),
             shared,
             workers: vec![append_worker, index_worker, state_worker],
+            append_probe,
         }
     }
 
@@ -373,7 +408,7 @@ impl CommitPipeline {
                 std::io::Error::other("commit pipeline is not running"),
             ));
         };
-        match sender.send(item) {
+        match self.append_probe.send(|| sender.send(item)) {
             Ok(()) => Ok(()),
             Err(_) => {
                 // Append worker is gone (panicked): balance the barrier
@@ -766,7 +801,12 @@ impl Ledger {
                 .unwrap_or_else(|e| e.into_inner());
             *n += 1;
         }
-        pipe.send(AppendItem { block, tip, event })?;
+        pipe.send(AppendItem {
+            block,
+            tip,
+            event,
+            ctx: commit_span.context(),
+        })?;
         *chain = tip;
         commit_span.record("txs", tx_count);
         IoStats::add(&self.stats.txs_committed, tx_count);
@@ -1811,7 +1851,10 @@ mod tests {
             .collect_all()
             .unwrap();
         assert!(ledger.telemetry().drain_spans().is_empty());
-        assert!(ledger.telemetry().snapshot().counters.is_empty());
+        // Queue probes register their instruments at construction, so the
+        // snapshot lists them — but disabled telemetry records no values.
+        let snap = ledger.telemetry().snapshot();
+        assert!(snap.counters.iter().all(|(_, v)| *v == 0), "{snap:?}");
     }
 
     #[test]

@@ -182,6 +182,8 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace: parent.unwrap_or(id),
+            thread: 1,
             name,
             label: None,
             start_ns: id,

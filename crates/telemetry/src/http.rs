@@ -276,6 +276,11 @@ mod tests {
         assert!(body.contains("\"name\":\"query\""), "{body}");
         assert!(body.contains("\"name\":\"child\""), "{body}");
         assert!(body.contains("\"roots\":[{"), "{body}");
+        // Trace-context fields: every span carries its trace id and thread
+        // lane, and the child links to its parent span id.
+        assert!(body.contains("\"trace\":"), "{body}");
+        assert!(body.contains("\"thread\":"), "{body}");
+        assert!(body.contains("\"parent\":"), "{body}");
         handle.join().unwrap();
     }
 

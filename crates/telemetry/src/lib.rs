@@ -31,23 +31,27 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chrome;
 pub mod export;
 pub mod flight;
 pub mod histogram;
 pub mod http;
 pub mod prometheus;
+pub mod queue;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
 
+pub use chrome::chrome_trace;
 pub use export::{render_table, Report};
 pub use flight::FlightRecorder;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use http::{http_get, MetricsServer};
 pub use prometheus::render_prometheus;
+pub use queue::QueueProbe;
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use slowlog::{SlowLog, SlowLogConfig};
-pub use span::{build_tree, render_tree, SpanGuard, SpanNode, SpanRecord};
+pub use span::{build_tree, render_tree, SpanContext, SpanGuard, SpanNode, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -214,6 +218,28 @@ impl Telemetry {
             return SpanGuard::inert();
         }
         SpanGuard::start(self.clone(), name)
+    }
+
+    /// Open a span that *follows from* the span behind `ctx`, regardless
+    /// of which thread it runs on: the new span becomes a child of `ctx`
+    /// and joins its trace. With `ctx == None` this is [`Telemetry::span`]
+    /// — convenient for call sites that may or may not hold a token.
+    #[inline]
+    pub fn span_in(&self, name: &'static str, ctx: Option<SpanContext>) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard::inert();
+        }
+        match ctx {
+            Some(ctx) => SpanGuard::start_in(self.clone(), name, ctx),
+            None => SpanGuard::start(self.clone(), name),
+        }
+    }
+
+    /// Handoff token for the innermost live span of *this* instance on the
+    /// calling thread, if any. Capture it before crossing a thread
+    /// boundary and redeem it with [`Telemetry::span_in`] on the far side.
+    pub fn current_context(&self) -> Option<SpanContext> {
+        span::current_context_for(self.inner_ptr())
     }
 
     /// Add `n` to the named counter (no-op when disabled).

@@ -102,6 +102,16 @@ impl Registry {
         get_or_create(&self.gauges, Name::Owned(name.into()))
     }
 
+    /// A counter with a runtime-constructed name (see [`Registry::gauge_owned`]).
+    pub fn counter_owned(&self, name: impl Into<String>) -> Arc<Counter> {
+        get_or_create(&self.counters, Name::Owned(name.into()))
+    }
+
+    /// A histogram with a runtime-constructed name (see [`Registry::gauge_owned`]).
+    pub fn histogram_owned(&self, name: impl Into<String>) -> Arc<Histogram> {
+        get_or_create(&self.histograms, Name::Owned(name.into()))
+    }
+
     /// The named histogram, created on first use.
     pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
         get_or_create(&self.histograms, Name::Borrowed(name))

@@ -125,8 +125,10 @@ pub fn span_json(record: &SpanRecord) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
-        "\"id\":{},\"name\":\"{}\"",
+        "\"id\":{},\"trace\":{},\"thread\":{},\"name\":\"{}\"",
         record.id,
+        record.trace,
+        record.thread,
         json_escape(record.name)
     );
     if let Some(parent) = record.parent {
@@ -186,14 +188,42 @@ pub fn render_slow_record(tree: &SpanNode, threshold_ns: u64, seq: u64) -> Strin
     }
     let _ = write!(
         out,
-        ",\"dur_ns\":{},\"threshold_ns\":{threshold_ns},\"start_ns\":{},\"spans\":{}",
+        ",\"trace\":{},\"dur_ns\":{},\"threshold_ns\":{threshold_ns},\"start_ns\":{},\"spans\":{}",
+        root.trace,
         root.dur_ns,
         root.start_ns,
         count_spans(tree)
     );
+    // Hoist the planner's decision (chosen engine + certified bounds) to
+    // the top level so a slow query is attributable to a misprediction
+    // without digging through the tree or re-running `tfq analyze`.
+    if let Some(choice) = find_named(tree, "planner.choice") {
+        out.push_str(",\"planner\":{");
+        let mut first = true;
+        if let Some(label) = &choice.label {
+            let _ = write!(out, "\"engine\":\"{}\"", json_escape(label));
+            first = false;
+        }
+        for (m, v) in &choice.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", json_escape(m));
+        }
+        out.push('}');
+    }
     let _ = write!(out, ",\"tree\":{}", tree_json(tree));
     out.push('}');
     out
+}
+
+/// Depth-first search for the first span named `name` in the tree.
+fn find_named<'a>(node: &'a SpanNode, name: &str) -> Option<&'a SpanRecord> {
+    if node.record.name == name {
+        return Some(&node.record);
+    }
+    node.children.iter().find_map(|c| find_named(c, name))
 }
 
 fn count_spans(node: &SpanNode) -> usize {
@@ -228,12 +258,37 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace: 1,
+            thread: 1,
             name,
             label: None,
             start_ns: id,
             dur_ns,
             metrics: Vec::new(),
         }
+    }
+
+    #[test]
+    fn planner_choice_is_hoisted_to_top_level() {
+        let root = rec(1, None, "tqf.key", 9_000);
+        let mut choice = rec(2, Some(1), "planner.choice", 10);
+        choice.label = Some("Auto→M1".into());
+        choice.metrics.push(("tqf_blocks_hi", 40));
+        choice.metrics.push(("m1_blocks_hi", 6));
+        let tree = SpanNode {
+            record: root,
+            children: vec![SpanNode {
+                record: choice,
+                children: vec![],
+            }],
+        };
+        let line = render_slow_record(&tree, 5_000, 0);
+        assert!(
+            line.contains(
+                "\"planner\":{\"engine\":\"Auto→M1\",\"tqf_blocks_hi\":40,\"m1_blocks_hi\":6}"
+            ),
+            "{line}"
+        );
     }
 
     #[test]

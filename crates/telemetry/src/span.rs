@@ -19,14 +19,55 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::export::fmt_ns;
 use crate::Telemetry;
 
 thread_local! {
-    /// `(instance tag, span id)` of the innermost live span on this thread.
-    static CURRENT: Cell<Option<(usize, u64)>> = const { Cell::new(None) };
+    /// `(instance tag, span id, trace id)` of the innermost live span on
+    /// this thread.
+    static CURRENT: Cell<Option<(usize, u64, u64)>> = const { Cell::new(None) };
+}
+
+/// Process-wide monotone thread numbering, used only for trace lanes —
+/// small, stable ids beat `ThreadId`'s opaque debug formatting.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_LANE: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small, stable id of the calling thread (1-based, process-wide).
+pub fn thread_lane() -> u64 {
+    THREAD_LANE.with(|t| *t)
+}
+
+/// A handoff token carrying a live span's identity across threads.
+///
+/// Captured via [`SpanGuard::context`] (or [`Telemetry::current_context`])
+/// on the submitting thread and redeemed with [`Telemetry::span_in`] on a
+/// worker thread, it makes the worker's span a child of the originating
+/// span — a `follows_from` edge — so pipelined stages and fan-out workers
+/// stitch into the same trace instead of becoming orphan roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    pub(crate) tag: usize,
+    pub(crate) span: u64,
+    pub(crate) trace: u64,
+}
+
+impl SpanContext {
+    /// Id of the span this context points at.
+    pub fn span_id(&self) -> u64 {
+        self.span
+    }
+
+    /// Id of the trace (the root span's id) this context belongs to.
+    pub fn trace_id(&self) -> u64 {
+        self.trace
+    }
 }
 
 /// A finished span: timing, tree linkage, and attached metrics.
@@ -34,8 +75,15 @@ thread_local! {
 pub struct SpanRecord {
     /// Unique id within one [`Telemetry`] instance.
     pub id: u64,
-    /// Id of the span that was open on this thread when this one started.
+    /// Id of the span that was open on this thread when this one started,
+    /// or that was handed off explicitly via [`SpanContext`].
     pub parent: Option<u64>,
+    /// Id of the root span of the trace this span belongs to. A root
+    /// span's trace id is its own id; children inherit it from their
+    /// parent, including across thread handoffs.
+    pub trace: u64,
+    /// Lane id of the thread the span ran on (see [`thread_lane`]).
+    pub thread: u64,
     /// Static span name, e.g. `"ghfk"` or `"block.deserialize"`.
     pub name: &'static str,
     /// Optional dynamic label, e.g. the key being iterated.
@@ -62,8 +110,9 @@ struct Active {
     tel: Telemetry,
     id: u64,
     parent: Option<u64>,
+    trace: u64,
     /// Previous thread-local value, restored on drop.
-    prev: Option<(usize, u64)>,
+    prev: Option<(usize, u64, u64)>,
     name: &'static str,
     label: Option<String>,
     metrics: Vec<(&'static str, u64)>,
@@ -84,18 +133,37 @@ impl SpanGuard {
     }
 
     pub(crate) fn start(tel: Telemetry, name: &'static str) -> Self {
+        Self::start_inner(tel, name, None)
+    }
+
+    /// Open a span whose parent is the span behind `follows`, regardless of
+    /// what is live on this thread. Used for cross-thread handoffs.
+    pub(crate) fn start_in(tel: Telemetry, name: &'static str, follows: SpanContext) -> Self {
+        Self::start_inner(tel, name, Some(follows))
+    }
+
+    fn start_inner(tel: Telemetry, name: &'static str, follows: Option<SpanContext>) -> Self {
         let tag = tel.inner_ptr();
         let id = tel.next_span_id();
-        let prev = CURRENT.with(|c| c.replace(Some((tag, id))));
-        let parent = match prev {
-            Some((t, pid)) if t == tag => Some(pid),
-            _ => None,
+        // An explicit handoff token wins over the thread-local cell; a
+        // token minted by a different Telemetry instance is ignored.
+        let (parent, trace) = match follows.filter(|f| f.tag == tag) {
+            Some(f) => (Some(f.span), f.trace),
+            None => {
+                let inherited = CURRENT.with(|c| c.get());
+                match inherited {
+                    Some((t, pid, trace)) if t == tag => (Some(pid), trace),
+                    _ => (None, id),
+                }
+            }
         };
+        let prev = CURRENT.with(|c| c.replace(Some((tag, id, trace))));
         let start_ns = tel.now_ns();
         SpanGuard(Some(Active {
             tel,
             id,
             parent,
+            trace,
             prev,
             name,
             label: None,
@@ -108,6 +176,16 @@ impl SpanGuard {
     /// Whether this guard will record a span (i.e. telemetry was enabled).
     pub fn is_active(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// A handoff token for this live span, suitable for crossing threads.
+    /// `None` for inert guards.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.0.as_ref().map(|a| SpanContext {
+            tag: a.tel.inner_ptr(),
+            span: a.id,
+            trace: a.trace,
+        })
     }
 
     /// Attach a dynamic label (e.g. the key under iteration).
@@ -145,6 +223,8 @@ impl Drop for SpanGuard {
             a.tel.push_span(SpanRecord {
                 id: a.id,
                 parent: a.parent,
+                trace: a.trace,
+                thread: thread_lane(),
                 name: a.name,
                 label: a.label,
                 start_ns: a.start_ns,
@@ -153,6 +233,18 @@ impl Drop for SpanGuard {
             });
         }
     }
+}
+
+/// The innermost live span on this thread that belongs to the telemetry
+/// instance tagged `tag`, as a handoff token.
+pub(crate) fn current_context_for(tag: usize) -> Option<SpanContext> {
+    CURRENT.with(|c| c.get()).and_then(|(t, span, trace)| {
+        (t == tag).then_some(SpanContext {
+            tag: t,
+            span,
+            trace,
+        })
+    })
 }
 
 /// One node of an assembled span tree.
@@ -260,12 +352,69 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace: parent.unwrap_or(id),
+            thread: 1,
             name,
             label: None,
             start_ns,
             dur_ns: 10,
             metrics: Vec::new(),
         }
+    }
+
+    #[test]
+    fn handoff_token_parents_across_threads() {
+        let tel = Telemetry::enabled();
+        let ctx = {
+            let root = tel.span("commit");
+            let ctx = root.context().unwrap();
+            let tel2 = tel.clone();
+            std::thread::spawn(move || {
+                let _w = tel2.span_in("commit.append", Some(ctx));
+                let _inner = tel2.span("kv.wal.append");
+            })
+            .join()
+            .unwrap();
+            ctx
+        };
+        let spans = tel.drain_spans();
+        assert_eq!(spans.len(), 3);
+        let root = spans.iter().find(|s| s.name == "commit").unwrap();
+        let worker = spans.iter().find(|s| s.name == "commit.append").unwrap();
+        let inner = spans.iter().find(|s| s.name == "kv.wal.append").unwrap();
+        assert_eq!(ctx.trace_id(), root.id, "root's trace id is its own id");
+        assert_eq!(worker.parent, Some(root.id), "handoff sets the parent");
+        assert_eq!(worker.trace, root.trace, "trace id crosses the thread");
+        assert_eq!(inner.parent, Some(worker.id), "nesting resumes on the worker");
+        assert_eq!(inner.trace, root.trace);
+        assert_ne!(worker.thread, root.thread, "lanes identify threads");
+        let tree = build_tree(spans);
+        assert_eq!(tree.len(), 1, "one rooted tree, no orphans");
+        assert_eq!(tree[0].depth(), 3);
+    }
+
+    #[test]
+    fn foreign_token_is_ignored() {
+        let tel = Telemetry::enabled();
+        let other = Telemetry::enabled();
+        let foreign = {
+            let g = other.span("alien");
+            g.context().unwrap()
+        };
+        {
+            let _s = tel.span_in("local", Some(foreign));
+        }
+        let spans = tel.drain_spans();
+        assert_eq!(spans[0].parent, None, "foreign token must not link");
+        assert_eq!(spans[0].trace, spans[0].id);
+    }
+
+    #[test]
+    fn current_context_matches_guard_context() {
+        let tel = Telemetry::enabled();
+        assert!(tel.current_context().is_none());
+        let g = tel.span("q");
+        assert_eq!(tel.current_context(), g.context());
     }
 
     #[test]

@@ -12,6 +12,8 @@ fn record(id: u64, name: &'static str) -> SpanRecord {
     SpanRecord {
         id,
         parent: None,
+        trace: id,
+        thread: 1,
         name,
         label: None,
         start_ns: id,

@@ -23,7 +23,7 @@ use temporal_core::m1::{M1Engine, M1Indexer};
 use temporal_core::m2::{M2Encoder, M2Engine};
 use temporal_core::partition::FixedLength;
 use temporal_core::tqf::TqfEngine;
-use temporal_core::{drain, AutoEngine, TemporalEngine};
+use temporal_core::{drain, AutoEngine, PlannerLog, TemporalEngine};
 
 struct TempDir(std::path::PathBuf);
 impl TempDir {
@@ -185,7 +185,7 @@ fn auto_planner_never_beaten_by_a_fixed_engine() {
             let (tqf_blocks, _) = cost(&TqfEngine, &fx.base, key, tau);
             let (m1_blocks, _) = cost(&m1, &fx.base, key, tau);
             let before = fx.base.stats();
-            let got = AutoEngine.events_for_key(&fx.base, key, tau).unwrap();
+            let got = AutoEngine::default().events_for_key(&fx.base, key, tau).unwrap();
             let auto_blocks = fx.base.stats().delta(&before).blocks_deserialized;
             assert_eq!(got, expected, "auto answer diverged for {key} over {tau}");
             assert!(
@@ -198,7 +198,7 @@ fn auto_planner_never_beaten_by_a_fixed_engine() {
             // match its cost.
             let (m2_blocks, _) = cost(&m2, &fx.m2, key, tau);
             let before = fx.m2.stats();
-            let got = AutoEngine.events_for_key(&fx.m2, key, tau).unwrap();
+            let got = AutoEngine::default().events_for_key(&fx.m2, key, tau).unwrap();
             let auto_m2_blocks = fx.m2.stats().delta(&before).blocks_deserialized;
             assert_eq!(
                 got, expected,
@@ -238,11 +238,11 @@ fn auto_matches_every_fixed_engine_on_random_windows() {
     let keys = fx.keys();
     proptest::run_cases(&windows, |tau| {
         for &key in &keys {
-            let auto = AutoEngine.events_for_key(&fx.base, key, tau).unwrap();
+            let auto = AutoEngine::default().events_for_key(&fx.base, key, tau).unwrap();
             let tqf = TqfEngine.events_for_key(&fx.base, key, tau).unwrap();
             let m1r = m1.events_for_key(&fx.base, key, tau).unwrap();
             let m2r = m2.events_for_key(&fx.m2, key, tau).unwrap();
-            let auto_m2 = AutoEngine.events_for_key(&fx.m2, key, tau).unwrap();
+            let auto_m2 = AutoEngine::default().events_for_key(&fx.m2, key, tau).unwrap();
             prop_assert_eq!(&auto, &tqf, "auto vs TQF for {} over {}", key, tau);
             prop_assert_eq!(&auto, &m1r, "auto vs M1 for {} over {}", key, tau);
             prop_assert_eq!(&auto, &m2r, "auto vs M2 for {} over {}", key, tau);
@@ -256,4 +256,82 @@ fn auto_matches_every_fixed_engine_on_random_windows() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn calibration_log_certified_bounds_dominate_actuals() {
+    // (property) Every *certified* planner decision — TQF with its
+    // closed-form block bound, M1 with its per-interval bound — must log
+    // predicted bounds that dominate the measured actuals, across random
+    // windows on a partially indexed ledger (the hybrid plan is exactly
+    // where a miscounted bound would surface). Queries run sequentially:
+    // actuals come from ledger-wide IoStats deltas, so a concurrent query
+    // would bleed blocks into another query's measurement.
+    let fx = Fixture::build("calib", IngestMode::MultiEvent, 0.6);
+    let t = fx.t_max;
+    let u = fx.u;
+    let log_path = std::env::temp_dir().join(format!(
+        "calib-log-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    {
+        let log = PlannerLog::open(&log_path).unwrap();
+        log.set_dataset("ds3-prop");
+        let auto = AutoEngine::with_log(log);
+        let keys = fx.keys();
+        let windows = prop_oneof![
+            (0..2 * t, 1..t).prop_map(|(s, l)| Interval::new(s, s + l)),
+            (0u64..50, 1u64..25).prop_map(move |(i, n)| Interval::new(i * u, (i + n) * u)),
+        ];
+        proptest::run_cases(&windows, |tau| {
+            for &key in &keys {
+                let mut cursor = auto.events_cursor(&fx.base, key, tau).unwrap();
+                drain(cursor.as_mut()).unwrap();
+                drop(cursor); // Drop measures actuals and appends the record.
+            }
+            Ok(())
+        });
+        // Random windows land on M1/hybrid almost surely; degenerate
+        // leading windows force TQF certificates (at most the blocks
+        // holding a state of the key in (0, te] — which for tiny te ties
+        // or beats the M1 bound in the cost comparison).
+        for &key in &keys {
+            for te in [1u64, 2] {
+                let mut cursor = auto
+                    .events_cursor(&fx.base, key, Interval::new(0, te))
+                    .unwrap();
+                drain(cursor.as_mut()).unwrap();
+            }
+        }
+    }
+    let records = PlannerLog::load(&log_path).unwrap();
+    let _ = std::fs::remove_file(&log_path);
+    assert!(!records.is_empty(), "no planner decisions were logged");
+    let certified: Vec<_> = records.iter().filter(|r| r.certified).collect();
+    assert!(
+        !certified.is_empty(),
+        "no certified plans among {} records",
+        records.len()
+    );
+    assert!(
+        certified.iter().any(|r| r.engine.contains("TQF")),
+        "property never exercised a certified TQF plan"
+    );
+    for r in &certified {
+        let (lo, hi) = r
+            .predicted
+            .expect("certified record must carry predicted bounds");
+        assert!(lo <= hi, "inverted bound ({lo}, {hi}) for {}", r.key);
+        assert!(
+            r.actual_blocks <= hi,
+            "certificate violated: {} {} over ({}, {}] predicted ≤{hi} blocks, measured {}",
+            r.engine,
+            r.key,
+            r.tau.0,
+            r.tau.1,
+            r.actual_blocks
+        );
+    }
 }
