@@ -202,7 +202,7 @@ fn bench_read_path(c: &mut Criterion) {
             "[ablation] shards={shards}: warm scan deserializes {} block(s), {} cache hit(s)",
             warm.blocks_deserialized, warm.cache_hits
         );
-        g.bench_function(format!("shards-{shards}"), |b| {
+        g.bench_function(&format!("shards-{shards}"), |b| {
             b.iter(|| {
                 ferry_query_parallel(&TqfEngine, &ledger, tau, 4)
                     .unwrap()
@@ -293,7 +293,7 @@ fn bench_parallel_query(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/parallel_tqf_late");
     g.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
-        g.bench_function(format!("workers-{workers}"), |b| {
+        g.bench_function(&format!("workers-{workers}"), |b| {
             b.iter(|| {
                 ferry_query_parallel(&TqfEngine, &ledger, tau, workers)
                     .unwrap()

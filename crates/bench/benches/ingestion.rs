@@ -34,7 +34,7 @@ fn bench_ingestion_modes(c: &mut Criterion) {
         ("se", IngestMode::SingleEvent),
         ("me", IngestMode::MultiEvent),
     ] {
-        g.bench_function(format!("{label}-identity"), |b| {
+        g.bench_function(&format!("{label}-identity"), |b| {
             b.iter_batched(
                 || fresh_ledger(label),
                 |(dir, ledger)| {

@@ -1,4 +1,11 @@
 //! Regenerate every paper table in sequence (Tables I–IV).
+
+// Resource accounting matches the shipped tfq binary: the counting
+// allocator charges every allocation to the active span.
+#[cfg(feature = "counting-alloc")]
+#[global_allocator]
+static ALLOC: fabric_telemetry::CountingAlloc = fabric_telemetry::CountingAlloc;
+
 type TableRun = fn(&temporal_bench::Ctx) -> fabric_ledger::Result<String>;
 
 fn main() {

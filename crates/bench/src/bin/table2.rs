@@ -1,4 +1,11 @@
 //! Regenerate paper Table 2. See crate docs for scaling.
+
+// Resource accounting matches the shipped tfq binary: the counting
+// allocator charges every allocation to the active span.
+#[cfg(feature = "counting-alloc")]
+#[global_allocator]
+static ALLOC: fabric_telemetry::CountingAlloc = fabric_telemetry::CountingAlloc;
+
 fn main() {
     let ctx = temporal_bench::Ctx::from_env();
     match temporal_bench::tables::table2::run(&ctx) {

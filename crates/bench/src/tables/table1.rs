@@ -373,6 +373,83 @@ pub fn run(ctx: &Ctx) -> Result<String> {
             SLOT_CAPACITY * key_count
         ));
     }
+    // Observability-overhead ablation (DS3, full window, TQF): the same
+    // join with instrumentation off, with span recording on (plus
+    // allocation accounting when the binary installs the counting
+    // allocator), and with the 99Hz sampling profiler on top of that.
+    // Three runs per cell reduce to medians in the bench file; the
+    // headline ratios print so a profiler-cost regression is visible in
+    // the report itself.
+    {
+        let id = DatasetId::Ds3;
+        let ledger = ctx.m1_ledger(id, IngestMode::SingleEvent, ctx.scale_time(id, 2000))?;
+        let full = temporal_core::Interval::new(0, ctx.t_max(id));
+        let cell = |label: &str,
+                    samples: &mut Vec<(String, MetricKind, f64)>,
+                    run: &mut dyn FnMut() -> Result<f64>|
+         -> Result<f64> {
+            let mut secs = Vec::new();
+            for _ in 0..3 {
+                let s = run()?;
+                samples.push((
+                    format!("ablation/observability/{label}/join_s"),
+                    MetricKind::Time,
+                    s,
+                ));
+                secs.push(s);
+            }
+            secs.sort_by(f64::total_cmp);
+            Ok(secs[1])
+        };
+        let base = cell("base", &mut samples, &mut || {
+            Ok(ferry_query(&TqfEngine, &ledger, full)?
+                .stats
+                .wall
+                .as_secs_f64())
+        })?;
+        let spans = cell("spans", &mut samples, &mut || {
+            let (out, _) = with_telemetry(&ledger, || ferry_query(&TqfEngine, &ledger, full));
+            Ok(out?.stats.wall.as_secs_f64())
+        })?;
+        let profiled = cell("profile99", &mut samples, &mut || {
+            let profiler = fabric_telemetry::Profiler::start(ledger.telemetry(), 99);
+            let (out, _) = with_telemetry(&ledger, || ferry_query(&TqfEngine, &ledger, full));
+            profiler.stop();
+            Ok(out?.stats.wall.as_secs_f64())
+        })?;
+        // Sampling-rate sanity over a fixed 150ms span (the CI-scale join
+        // itself is too short to guarantee a tick): 99Hz must land ~15
+        // samples, never zero — a zero here means the sampler thread died.
+        let profiler_samples = {
+            let profiler = fabric_telemetry::Profiler::start(ledger.telemetry(), 99);
+            {
+                let tel = ledger.telemetry();
+                let was_enabled = tel.is_enabled();
+                tel.enable();
+                {
+                    let _s = tel.span("bench.profiler.probe");
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                }
+                if !was_enabled {
+                    tel.disable();
+                }
+            }
+            profiler.stop().samples()
+        };
+        samples.push((
+            "ablation/observability/profile99/samples".to_string(),
+            MetricKind::Counter,
+            profiler_samples as f64,
+        ));
+        report.push_str(&format!(
+            "Observability overhead (DS3 full window, TQF, median of 3): \
+             base {base:.4}s, spans {spans:.4}s ({:+.1}%), \
+             spans+profiler@99Hz {profiled:.4}s ({:+.1}%), \
+             {profiler_samples} profiler sample(s)\n\n",
+            (spans / base - 1.0) * 100.0,
+            (profiled / base - 1.0) * 100.0,
+        ));
+    }
     ctx.save_result("table1.csv", &csv.to_csv());
     samples.extend(parallel_samples);
     if ctx.json_out.is_some() {

@@ -21,6 +21,14 @@ mod serve;
 
 use std::process::ExitCode;
 
+// Per-query resource accounting: every allocation in the process is
+// counted and charged to the active span. Registered here in the binary
+// root (a library registering a global allocator would conflict with any
+// other allocator choice in the same link).
+#[cfg(feature = "counting-alloc")]
+#[global_allocator]
+static ALLOC: fabric_telemetry::CountingAlloc = fabric_telemetry::CountingAlloc;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     // `tfq ... | head` closes stdout early; the resulting broken-pipe panic

@@ -287,6 +287,19 @@ mod tests {
         // The collect hook publishes ledger gauges on every scrape.
         assert!(metrics.contains("tf_ledger_height"), "{metrics}");
         assert!(metrics.contains("tf_statedb_sstables"), "{metrics}");
+        // Process-memory gauges ride along; this test binary installs
+        // the counting allocator (like the shipped tfq), so the heap
+        // gauges must be live, not just present.
+        assert!(metrics.contains("tf_mem_rss_bytes"), "{metrics}");
+        assert!(metrics.contains("tf_mem_counting_allocator 1"), "{metrics}");
+        for g in ["tf_mem_heap_live_bytes", "tf_mem_alloc_bytes_total"] {
+            let line = metrics
+                .lines()
+                .find(|l| l.starts_with(g))
+                .unwrap_or_else(|| panic!("missing {g}: {metrics}"));
+            let v: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+            assert!(v > 0.0, "{g} not live: {line}");
+        }
         let (code, flight) = fabric_telemetry::http_get(addr, "/flight").unwrap();
         assert_eq!(code, 200);
         assert!(flight.starts_with('{'), "{flight}");

@@ -61,6 +61,11 @@ pub struct OperatorSpan {
     pub ghfk_calls: u64,
     /// Blocks deserialized under this operator.
     pub blocks: u64,
+    /// Bytes allocated on the operator's thread while its span was open
+    /// (zero without a counting allocator in the binary).
+    pub alloc_bytes: u64,
+    /// Net-live heap high-water mark while the span was open.
+    pub peak_bytes: u64,
 }
 
 /// Span names that identify cursor operators in the telemetry tree.
@@ -149,12 +154,19 @@ impl AnalyzedPlan {
                 let indent = "  ".repeat(op.depth);
                 let label = op.label.as_deref().unwrap_or("-");
                 out.push_str(&format!(
-                    "    {indent}{}({label}) — {} GHFK, {} block(s), {}\n",
+                    "    {indent}{}({label}) — {} GHFK, {} block(s), {}",
                     op.name,
                     op.ghfk_calls,
                     op.blocks,
                     fabric_telemetry::export::fmt_ns(op.wall.as_nanos() as u64)
                 ));
+                if op.alloc_bytes > 0 || op.peak_bytes > 0 {
+                    out.push_str(&format!(
+                        ", {} B alloc (peak {} B)",
+                        op.alloc_bytes, op.peak_bytes
+                    ));
+                }
+                out.push('\n');
             }
         }
         out.push_str(&format!(
@@ -189,6 +201,8 @@ fn collect_operators(nodes: &[SpanNode], depth: usize, out: &mut Vec<OperatorSpa
                 wall: Duration::from_nanos(node.record.dur_ns),
                 ghfk_calls: node.count_named("ghfk") as u64,
                 blocks: node.count_named("block.deserialize") as u64,
+                alloc_bytes: node.record.alloc_bytes,
+                peak_bytes: node.record.peak_bytes,
             });
         }
         collect_operators(&node.children, depth + usize::from(is_op), out);

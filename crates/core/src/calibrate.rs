@@ -105,7 +105,11 @@ impl PlannerRecord {
     pub fn ratio_pct(&self) -> Option<u64> {
         match self.predicted {
             Some((_, hi)) if hi > 0 => Some(self.actual_blocks * 100 / hi),
-            Some((_, 0)) => Some(if self.actual_blocks == 0 { 100 } else { u64::MAX }),
+            Some((_, 0)) => Some(if self.actual_blocks == 0 {
+                100
+            } else {
+                u64::MAX
+            }),
             _ => None,
         }
     }
@@ -177,7 +181,9 @@ pub struct PlannerLog {
 
 impl std::fmt::Debug for PlannerLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PlannerLog").field("path", &self.path).finish()
+        f.debug_struct("PlannerLog")
+            .field("path", &self.path)
+            .finish()
     }
 }
 
@@ -222,7 +228,10 @@ impl PlannerLog {
     /// Read every well-formed record from a JSONL calibration log.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Vec<PlannerRecord>> {
         let text = std::fs::read_to_string(path)?;
-        Ok(text.lines().filter_map(PlannerRecord::from_json_line).collect())
+        Ok(text
+            .lines()
+            .filter_map(PlannerRecord::from_json_line)
+            .collect())
     }
 }
 
@@ -280,11 +289,7 @@ impl Drop for CalibratedCursor<'_> {
     fn drop(&mut self) {
         let now = self.ledger.stats();
         let rec = PlannerRecord {
-            dataset: self
-                .log
-                .as_ref()
-                .map(|l| l.dataset())
-                .unwrap_or_default(),
+            dataset: self.log.as_ref().map(|l| l.dataset()).unwrap_or_default(),
             engine: std::mem::take(&mut self.engine),
             key: std::mem::take(&mut self.key),
             tau: self.tau,

@@ -260,7 +260,7 @@ fn unique_dir() -> std::path::PathBuf {
 
 proptest! {
     // Each case builds and M1-indexes two ledgers; keep the count modest.
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 6 })]
 
     /// `Ledger::history` must be byte-identical with coalescing on vs. off,
     /// across MultiEvent/SingleEvent ingest and the M1 write-then-delete

@@ -363,10 +363,7 @@ impl KvStore {
     /// a leader to fill this batch's result slot.
     fn write_grouped(&self, batch: WriteBatch) -> Result<()> {
         let slot = Arc::new(WriteSlot::default());
-        let enqueued_at = self
-            .group_probe
-            .is_live()
-            .then(std::time::Instant::now);
+        let enqueued_at = self.group_probe.is_live().then(std::time::Instant::now);
         let wait_ns =
             |t0: Option<std::time::Instant>| t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let mut state = self.group.state.lock().unwrap_or_else(|e| e.into_inner());

@@ -1,0 +1,80 @@
+//! Per-span resource accounting through the storage write path.
+//!
+//! This binary installs the counting global allocator exactly like the
+//! `tfq` binary does, so every WAL append / memtable flush span recorded
+//! by the store must carry allocation charges — the end-to-end proof
+//! that allocator, span thread-locals, and the kvstore span sites
+//! compose.
+
+#[global_allocator]
+static ALLOC: fabric_telemetry::CountingAlloc = fabric_telemetry::CountingAlloc;
+
+use fabric_kvstore::{KvStore, Options};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "kv-alloc-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn wal_append_spans_carry_alloc_charges() {
+    assert!(
+        fabric_telemetry::alloc::is_counting(),
+        "counting allocator must be live in this binary"
+    );
+    let dir = TempDir::new();
+    let tel = fabric_telemetry::Telemetry::enabled();
+    let db = KvStore::open_with_telemetry(&dir.0, Options::small_for_tests(), tel.clone()).unwrap();
+    for i in 0..40 {
+        db.put(format!("key{i:03}"), format!("v{}", "x".repeat(64)))
+            .unwrap();
+    }
+    db.flush().unwrap();
+    let spans = tel.drain_spans();
+
+    let wal: Vec<_> = spans.iter().filter(|s| s.name == "kv.wal.append").collect();
+    assert!(!wal.is_empty(), "no WAL append spans recorded");
+    // Encoding the batch allocates, so appends must be charged.
+    assert!(
+        wal.iter().all(|s| s.alloc_bytes > 0 && s.alloc_calls > 0),
+        "uncharged WAL span: {wal:?}"
+    );
+    let flushes: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "kv.memtable.flush")
+        .collect();
+    assert!(
+        flushes.iter().all(|s| s.alloc_bytes > 0),
+        "uncharged flush span: {flushes:?}"
+    );
+    // The net-live high-water mark during a span can never exceed the
+    // gross bytes allocated on its thread while it was open.
+    for s in &spans {
+        assert!(
+            s.peak_bytes <= s.alloc_bytes,
+            "{}: peak {} > alloc {}",
+            s.name,
+            s.peak_bytes,
+            s.alloc_bytes
+        );
+    }
+    // Process totals moved too (trivially true once anything allocated).
+    let totals = fabric_telemetry::alloc::totals();
+    assert!(totals.alloc_calls > 0 && totals.allocated_bytes > 0);
+    assert!(totals.peak_live_bytes >= 1, "peak-live never sampled");
+}

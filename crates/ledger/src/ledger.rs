@@ -277,17 +277,22 @@ impl CommitPipeline {
                     let block_num = block.header.number;
                     if index_send
                         .send(|| {
-                            index_tx.send(IndexItem {
-                                entry: BlockIndexEntry {
-                                    block_num,
-                                    location,
-                                    history,
-                                    tx_ids,
-                                    tip,
-                                },
-                                event,
-                                ctx,
-                            })
+                            index_tx
+                                .send(IndexItem {
+                                    entry: BlockIndexEntry {
+                                        block_num,
+                                        location,
+                                        history,
+                                        tx_ids,
+                                        tip,
+                                    },
+                                    event,
+                                    ctx,
+                                })
+                                // Drop the bulky SendError payload: only
+                                // send success matters here, and a slim Err
+                                // keeps the probe's closure result small.
+                                .map_err(drop)
                         })
                         .is_err()
                     {
@@ -1155,6 +1160,9 @@ impl Ledger {
         set("indexdb.wal_fsyncs", im.wal_fsyncs);
         set("indexdb.group_commits", im.group_commits);
         set("indexdb.group_commit_batches", im.group_commit_batches);
+        // Process-level memory: RSS from /proc plus counting-allocator
+        // totals (zero when the binary runs on the system allocator).
+        fabric_telemetry::alloc::publish_memory_gauges(&self.tel);
     }
 
     /// Flush state and index stores (clean shutdown aid; the block files

@@ -10,10 +10,7 @@ use fabric_ledger::codec::Cursor;
 use fabric_ledger::{Block, Transaction};
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 512,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 512 })]
 
     #[test]
     fn transaction_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {

@@ -1,0 +1,341 @@
+//! Resource accounting: a counting global allocator and process memory
+//! gauges.
+//!
+//! [`CountingAlloc`] wraps the system allocator and keeps two ledgers of
+//! every allocation:
+//!
+//! * **process totals** (relaxed atomics) — bytes/calls allocated and
+//!   freed, live bytes and their high-water mark — published as
+//!   `mem.*` gauges on `/metrics` via [`publish_memory_gauges`];
+//! * **per-thread counters** (plain `Cell`s, no synchronization) — read
+//!   by [`SpanGuard`](crate::SpanGuard) at span open/close so that every
+//!   [`SpanRecord`](crate::SpanRecord) carries the bytes and calls
+//!   allocated *on its own thread* while it was open, plus the
+//!   high-water mark of net live bytes (`peak_bytes`).
+//!
+//! The allocator is registered by binaries, not by this library: the CLI
+//! and the bench harness do `#[global_allocator] static A: CountingAlloc
+//! = CountingAlloc;` behind a default-on `counting-alloc` feature, so
+//! library users and embedders keep the system allocator untouched.
+//! When no counting allocator is installed every accounting entry point
+//! short-circuits on one relaxed load and spans report zeros.
+//!
+//! Attribution semantics: a span is charged for all allocation activity
+//! on its thread while it is open, which *includes* same-thread child
+//! spans (like wall-clock time does) and *excludes* allocations made by
+//! worker threads it fanned out to — those are charged to the workers'
+//! own `span_in` spans. `peak_bytes` is the high-water mark of
+//! `live - live_at_span_start` on the span's thread, tracked with the
+//! same save/restore discipline as the span parent cell so nested spans
+//! each see their own peak.
+
+// The `GlobalAlloc` impl is the one place in this crate that needs
+// `unsafe`: it forwards to `std::alloc::System` verbatim and touches no
+// raw memory itself.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use crate::Telemetry;
+
+/// A `#[global_allocator]` wrapper around [`System`] that counts every
+/// allocation into process totals and per-thread cells.
+pub struct CountingAlloc;
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static TOTAL_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_DEALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+thread_local! {
+    // Const-initialized `Cell`s: accessing them never allocates, so the
+    // accounting hooks cannot recurse into the allocator.
+    static T_BYTES: Cell<u64> = const { Cell::new(0) };
+    static T_CALLS: Cell<u64> = const { Cell::new(0) };
+    static T_LIVE: Cell<i64> = const { Cell::new(0) };
+    static T_PEAK: Cell<i64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        INSTALLED.store(true, Ordering::Relaxed);
+    }
+    let size_u = size as u64;
+    let size_i = size as i64;
+    TOTAL_ALLOC_BYTES.fetch_add(size_u, Ordering::Relaxed);
+    TOTAL_ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size_i, Ordering::Relaxed) + size_i;
+    PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+    // `try_with`: a dying thread may allocate after TLS teardown; that
+    // activity still lands in the process totals above.
+    let _ = T_BYTES.try_with(|c| c.set(c.get().wrapping_add(size_u)));
+    let _ = T_CALLS.try_with(|c| c.set(c.get() + 1));
+    let _ = T_LIVE.try_with(|live| {
+        let v = live.get() + size_i;
+        live.set(v);
+        let _ = T_PEAK.try_with(|peak| peak.set(peak.get().max(v)));
+    });
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    TOTAL_FREED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    TOTAL_DEALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    LIVE_BYTES.fetch_sub(size as i64, Ordering::Relaxed);
+    let _ = T_LIVE.try_with(|live| live.set(live.get() - size as i64));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Model as free(old) + alloc(new): byte totals stay exact and
+            // live bytes track the net change; calls count one alloc.
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Whether a [`CountingAlloc`] is serving this process (detected from the
+/// first counted allocation, so it is reliably `true` by the time any
+/// telemetry code runs).
+#[inline]
+pub fn is_counting() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Saved per-thread allocation state at span open. Produced by
+/// [`span_enter`], consumed by [`span_exit`].
+#[derive(Debug, Clone, Copy)]
+pub struct AllocMark {
+    bytes: u64,
+    calls: u64,
+    live_at_start: i64,
+    prev_peak: i64,
+}
+
+/// Allocation activity charged to a finished span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Bytes allocated on the span's thread while it was open.
+    pub bytes: u64,
+    /// Allocator calls on the span's thread while it was open.
+    pub calls: u64,
+    /// High-water mark of net live bytes (relative to span start).
+    pub peak_bytes: u64,
+}
+
+/// Snapshot the calling thread's allocation counters at span open.
+/// Returns `None` (and stays branch-cheap) when no counting allocator is
+/// installed or the thread's TLS is tearing down.
+#[inline]
+pub fn span_enter() -> Option<AllocMark> {
+    if !is_counting() {
+        return None;
+    }
+    let bytes = T_BYTES.try_with(Cell::get).ok()?;
+    let calls = T_CALLS.try_with(Cell::get).ok()?;
+    let live_at_start = T_LIVE.try_with(Cell::get).ok()?;
+    // Save the enclosing span's running peak and restart tracking from
+    // the current live level — mirrors the parent-cell save/restore.
+    let prev_peak = T_PEAK.try_with(|p| p.replace(live_at_start)).ok()?;
+    Some(AllocMark {
+        bytes,
+        calls,
+        live_at_start,
+        prev_peak,
+    })
+}
+
+/// Close out a span's allocation window: returns the charged delta and
+/// restores the enclosing span's peak tracking (folding this span's peak
+/// into it, since the parent was live the whole time).
+#[inline]
+pub fn span_exit(mark: AllocMark) -> AllocDelta {
+    let bytes = T_BYTES
+        .try_with(Cell::get)
+        .map_or(0, |now| now.wrapping_sub(mark.bytes));
+    let calls = T_CALLS
+        .try_with(Cell::get)
+        .map_or(0, |now| now.saturating_sub(mark.calls));
+    let span_peak = T_PEAK.try_with(Cell::get).unwrap_or(mark.live_at_start);
+    let _ = T_PEAK.try_with(|p| p.set(mark.prev_peak.max(span_peak)));
+    AllocDelta {
+        bytes,
+        calls,
+        peak_bytes: span_peak.saturating_sub(mark.live_at_start).max(0) as u64,
+    }
+}
+
+/// Process-wide allocator totals since start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocTotals {
+    /// Total bytes handed out.
+    pub allocated_bytes: u64,
+    /// Total successful allocation calls (incl. zeroed and realloc).
+    pub alloc_calls: u64,
+    /// Total bytes returned.
+    pub freed_bytes: u64,
+    /// Total deallocation calls.
+    pub dealloc_calls: u64,
+    /// Bytes currently live (allocated minus freed).
+    pub live_bytes: i64,
+    /// High-water mark of live bytes.
+    pub peak_live_bytes: i64,
+}
+
+/// Read the process-wide allocator totals (all zeros when no counting
+/// allocator is installed).
+pub fn totals() -> AllocTotals {
+    AllocTotals {
+        allocated_bytes: TOTAL_ALLOC_BYTES.load(Ordering::Relaxed),
+        alloc_calls: TOTAL_ALLOC_CALLS.load(Ordering::Relaxed),
+        freed_bytes: TOTAL_FREED_BYTES.load(Ordering::Relaxed),
+        dealloc_calls: TOTAL_DEALLOC_CALLS.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resident set size of this process in bytes, read from
+/// `/proc/self/statm` (Linux only; `None` elsewhere or on parse failure).
+pub fn rss_bytes() -> Option<u64> {
+    // statm reports pages; the kernel page size is 4096 on every target
+    // this repo builds for (x86_64/aarch64 Linux default configs).
+    const PAGE: u64 = 4096;
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident * PAGE)
+}
+
+/// Refresh the `mem.*` gauges in `tel`'s registry from the allocator
+/// totals and `/proc/self/statm`. Wired into the `/metrics` collect hook
+/// so every scrape sees current values.
+pub fn publish_memory_gauges(tel: &Telemetry) {
+    let reg = tel.registry();
+    if let Some(rss) = rss_bytes() {
+        reg.gauge("mem.rss_bytes").set(rss as i64);
+    }
+    let t = totals();
+    reg.gauge("mem.heap_live_bytes").set(t.live_bytes);
+    reg.gauge("mem.heap_peak_live_bytes").set(t.peak_live_bytes);
+    reg.gauge("mem.alloc_bytes_total")
+        .set(t.allocated_bytes as i64);
+    reg.gauge("mem.alloc_calls_total").set(t.alloc_calls as i64);
+    reg.gauge("mem.freed_bytes_total").set(t.freed_bytes as i64);
+    reg.gauge("mem.counting_allocator")
+        .set(i64::from(is_counting()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Install the counting allocator for this crate's unit-test binary
+    // only: integration tests (notably the chrome golden file) stay on
+    // the system allocator and must keep seeing all-zero alloc fields.
+    #[global_allocator]
+    static TEST_ALLOC: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn totals_grow_with_allocations() {
+        let before = totals();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let after = totals();
+        drop(v);
+        assert!(is_counting());
+        assert!(
+            after.allocated_bytes >= before.allocated_bytes + (1 << 16),
+            "{before:?} -> {after:?}"
+        );
+        assert!(after.alloc_calls > before.alloc_calls);
+        assert!(after.peak_live_bytes >= 1 << 16);
+        let freed = totals();
+        assert!(freed.freed_bytes >= before.freed_bytes + (1 << 16));
+    }
+
+    #[test]
+    fn span_window_charges_only_inner_allocations() {
+        let mark = span_enter().expect("allocator installed");
+        let v: Vec<u8> = vec![0; 100_000];
+        drop(v);
+        let delta = span_exit(mark);
+        assert!(delta.bytes >= 100_000, "{delta:?}");
+        assert!(delta.calls >= 1);
+        assert!(delta.peak_bytes >= 100_000, "{delta:?}");
+
+        // A window with no allocations charges (almost) nothing: the
+        // `try_with` machinery itself must not allocate.
+        let mark = span_enter().unwrap();
+        let delta = span_exit(mark);
+        assert_eq!(delta.bytes, 0, "{delta:?}");
+        assert_eq!(delta.peak_bytes, 0);
+    }
+
+    #[test]
+    fn nested_windows_restore_the_parent_peak() {
+        let outer = span_enter().unwrap();
+        let big: Vec<u8> = vec![0; 1 << 20];
+        drop(big);
+        // After the 1MiB spike is freed, an inner window peaks small...
+        let inner = span_enter().unwrap();
+        let small: Vec<u8> = vec![0; 1 << 10];
+        drop(small);
+        let inner_delta = span_exit(inner);
+        let outer_delta = span_exit(outer);
+        assert!(inner_delta.peak_bytes >= 1 << 10);
+        assert!(inner_delta.peak_bytes < 1 << 19, "{inner_delta:?}");
+        // ...but the outer window still remembers its own spike.
+        assert!(outer_delta.peak_bytes >= 1 << 20, "{outer_delta:?}");
+        assert!(outer_delta.bytes >= (1 << 20) + (1 << 10));
+    }
+
+    #[test]
+    fn memory_gauges_land_in_the_registry() {
+        let tel = Telemetry::enabled();
+        let _keep = vec![0u8; 4096];
+        publish_memory_gauges(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauge("mem.counting_allocator"), Some(1));
+        assert!(snap.gauge("mem.heap_live_bytes").unwrap() > 0);
+        assert!(snap.gauge("mem.alloc_bytes_total").unwrap() > 0);
+        assert!(snap.gauge("mem.heap_peak_live_bytes").unwrap() > 0);
+        #[cfg(target_os = "linux")]
+        assert!(snap.gauge("mem.rss_bytes").unwrap() > 0);
+    }
+
+    #[test]
+    fn rss_parses_on_linux() {
+        #[cfg(target_os = "linux")]
+        assert!(rss_bytes().unwrap() > 1 << 20, "RSS under 1MiB is absurd");
+    }
+}

@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 
 use crate::export::json_escape;
 use crate::span::SpanRecord;
+use crate::TrackPoint;
 
 /// Microseconds with the nanosecond remainder as three decimals.
 fn micros(ns: u64) -> String {
@@ -45,6 +46,18 @@ fn complete_event(out: &mut String, r: &SpanRecord) {
     for (m, v) in &r.metrics {
         let _ = write!(out, ",\"{}\":{v}", json_escape(m));
     }
+    // Resource accounting (zero — and omitted — without a counting
+    // allocator, which keeps pre-existing golden files byte-identical).
+    if r.alloc_bytes > 0 || r.alloc_calls > 0 {
+        let _ = write!(
+            out,
+            ",\"alloc_bytes\":{},\"alloc_calls\":{}",
+            r.alloc_bytes, r.alloc_calls
+        );
+    }
+    if r.peak_bytes > 0 {
+        let _ = write!(out, ",\"peak_bytes\":{}", r.peak_bytes);
+    }
     out.push_str("}}");
 }
 
@@ -54,6 +67,16 @@ fn complete_event(out: &mut String, r: &SpanRecord) {
 /// as a process group named after its root span, with one track per
 /// thread lane that contributed spans.
 pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    chrome_trace_with_counters(records, &[])
+}
+
+/// [`chrome_trace`] plus Perfetto **counter tracks** (`ph:"C"` events)
+/// from sampled [`TrackPoint`]s — queue depths next to the span lanes, so
+/// backpressure is visible in the same view. All counter tracks live
+/// under a dedicated pid-0 "counters" process row (only present when
+/// `points` is non-empty, so plain exports are byte-identical to
+/// [`chrome_trace`]).
+pub fn chrome_trace_with_counters(records: &[SpanRecord], points: &[TrackPoint]) -> String {
     // Root-span names for process rows, and the lane set per trace for
     // thread rows — both sorted (BTreeMap) so output is deterministic.
     let mut root_names: BTreeMap<u64, &SpanRecord> = BTreeMap::new();
@@ -90,11 +113,29 @@ pub fn chrome_trace(records: &[SpanRecord]) -> String {
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{trace},\"tid\":{lane},\"args\":{{\"name\":\"lane {lane}\"}}}}",
         );
     }
+    if !points.is_empty() {
+        push_sep(&mut out);
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"counters\"}}",
+        );
+    }
     let mut sorted: Vec<&SpanRecord> = records.iter().collect();
     sorted.sort_by_key(|r| (r.start_ns, r.id));
     for r in sorted {
         push_sep(&mut out);
         complete_event(&mut out, r);
+    }
+    let mut sorted_points: Vec<&TrackPoint> = points.iter().collect();
+    sorted_points.sort_by(|a, b| (a.at_ns, &a.name).cmp(&(b.at_ns, &b.name)));
+    for p in sorted_points {
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{}}}}}",
+            json_escape(&p.name),
+            micros(p.at_ns),
+            p.value
+        );
     }
     out.push_str("]}");
     out
@@ -123,6 +164,9 @@ mod tests {
             start_ns,
             dur_ns: 1_500,
             metrics: Vec::new(),
+            alloc_bytes: 0,
+            alloc_calls: 0,
+            peak_bytes: 0,
         }
     }
 
@@ -133,7 +177,10 @@ mod tests {
         let mut worker = rec(2, Some(1), 1, 2, "commit.append", 100);
         worker.metrics.push(("blocks", 3));
         let out = chrome_trace(&[root, worker]);
-        assert!(out.contains("\"name\":\"trace 1: ledger.commit[block 7]\""), "{out}");
+        assert!(
+            out.contains("\"name\":\"trace 1: ledger.commit[block 7]\""),
+            "{out}"
+        );
         assert!(out.contains("\"pid\":1,\"tid\":1"), "{out}");
         assert!(out.contains("\"pid\":1,\"tid\":2"), "{out}");
         assert!(out.contains("\"parent\":1"), "{out}");
@@ -158,8 +205,64 @@ mod tests {
     }
 
     #[test]
+    fn alloc_fields_show_up_as_args_when_nonzero() {
+        let mut r = rec(1, None, 1, 1, "query", 0);
+        r.alloc_bytes = 4096;
+        r.alloc_calls = 7;
+        r.peak_bytes = 2048;
+        let out = chrome_trace(&[r]);
+        assert!(
+            out.contains("\"alloc_bytes\":4096,\"alloc_calls\":7"),
+            "{out}"
+        );
+        assert!(out.contains("\"peak_bytes\":2048"), "{out}");
+    }
+
+    #[test]
+    fn track_points_become_counter_tracks() {
+        use std::sync::Arc;
+        let name: Arc<str> = Arc::from("queue.pipeline.append.depth");
+        let points = vec![
+            crate::TrackPoint {
+                name: Arc::clone(&name),
+                at_ns: 2_000,
+                value: 3,
+            },
+            crate::TrackPoint {
+                name: Arc::clone(&name),
+                at_ns: 1_000,
+                value: 1,
+            },
+        ];
+        let out = chrome_trace_with_counters(&[rec(1, None, 1, 1, "ledger.commit", 0)], &points);
+        assert!(
+            out.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"counters\"}}"),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "{\"name\":\"queue.pipeline.append.depth\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":1.000,\"pid\":0,\"args\":{\"value\":1}}"
+            ),
+            "{out}"
+        );
+        let first = out.find("\"value\":1").unwrap();
+        let second = out.find("\"value\":3").unwrap();
+        assert!(first < second, "counter samples sort by time: {out}");
+        // Structure stays balanced with counters present.
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        // And the plain exporter stays byte-identical with no points.
+        assert_eq!(
+            chrome_trace_with_counters(&[rec(1, None, 1, 1, "ledger.commit", 0)], &[]),
+            chrome_trace(&[rec(1, None, 1, 1, "ledger.commit", 0)])
+        );
+    }
+
+    #[test]
     fn events_sort_by_start_time() {
-        let out = chrome_trace(&[rec(2, None, 2, 1, "later", 900), rec(1, None, 1, 1, "early", 5)]);
+        let out = chrome_trace(&[
+            rec(2, None, 2, 1, "later", 900),
+            rec(1, None, 1, 1, "early", 5),
+        ]);
         let early = out.find("\"name\":\"early\"").unwrap();
         let later = out.find("\"name\":\"later\"").unwrap();
         assert!(early < later, "{out}");

@@ -189,6 +189,9 @@ mod tests {
             start_ns: id,
             dur_ns: 10,
             metrics: Vec::new(),
+            alloc_bytes: 0,
+            alloc_calls: 0,
+            peak_bytes: 0,
         }
     }
 

@@ -31,22 +31,26 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alloc;
 pub mod chrome;
 pub mod export;
 pub mod flight;
 pub mod histogram;
 pub mod http;
+pub mod profile;
 pub mod prometheus;
 pub mod queue;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
 
-pub use chrome::chrome_trace;
+pub use alloc::CountingAlloc;
+pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use export::{render_table, Report};
 pub use flight::FlightRecorder;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use http::{http_get, MetricsServer};
+pub use profile::{top_spans, Profile, Profiler, TopEntry};
 pub use prometheus::render_prometheus;
 pub use queue::QueueProbe;
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
@@ -58,7 +62,23 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+
+/// One timestamped value of a named counter track (e.g. a queue depth
+/// sample), for the Chrome exporter's `ph:"C"` counter rows. Recorded
+/// only while [`Telemetry::enable_track_points`] is on.
+#[derive(Debug, Clone)]
+pub struct TrackPoint {
+    /// Track name (e.g. `queue.pipeline.append.depth`), shared not copied.
+    pub name: Arc<str>,
+    /// Sample time in nanoseconds since the telemetry epoch.
+    pub at_ns: u64,
+    /// Sampled value.
+    pub value: i64,
+}
+
+/// Bound on buffered [`TrackPoint`]s; newest win once full.
+const TRACK_POINTS_CAP: usize = 65_536;
 
 pub(crate) struct Inner {
     enabled: AtomicBool,
@@ -72,6 +92,10 @@ pub(crate) struct Inner {
     /// span when no log is installed (the common case).
     slow_installed: AtomicBool,
     slow: RwLock<Option<Arc<SlowLog>>>,
+    /// Counter-track sampling for trace exports: off by default so queue
+    /// probes cost nothing extra outside `tfq trace/profile` sessions.
+    track_on: AtomicBool,
+    track: Mutex<std::collections::VecDeque<TrackPoint>>,
 }
 
 /// A shared telemetry handle. Cheap to clone; all clones observe the same
@@ -108,6 +132,8 @@ impl Telemetry {
                 flight: FlightRecorder::default(),
                 slow_installed: AtomicBool::new(false),
                 slow: RwLock::new(None),
+                track_on: AtomicBool::new(false),
+                track: Mutex::new(std::collections::VecDeque::new()),
             }),
         }
     }
@@ -286,6 +312,44 @@ impl Telemetry {
         while self.inner.spans.pop().is_some() {}
         self.inner.registry.reset();
         self.inner.flight.clear();
+        self.inner.track.lock().clear();
+    }
+
+    /// Turn counter-track sampling on or off (see [`TrackPoint`]). Off by
+    /// default; `tfq trace --export chrome` and `tfq profile` turn it on
+    /// for the session so queue-depth tracks land in the export.
+    pub fn enable_track_points(&self, on: bool) {
+        self.inner.track_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether counter-track sampling is on.
+    #[inline]
+    pub fn track_points_on(&self) -> bool {
+        self.inner.track_on.load(Ordering::Relaxed)
+    }
+
+    /// Record one counter-track sample at the current time. No-op unless
+    /// track sampling is on; bounded by an internal cap (oldest dropped).
+    pub fn record_track_point(&self, name: &Arc<str>, value: i64) {
+        if !self.track_points_on() {
+            return;
+        }
+        let at_ns = self.now_ns();
+        let mut track = self.inner.track.lock();
+        if track.len() >= TRACK_POINTS_CAP {
+            track.pop_front();
+        }
+        track.push_back(TrackPoint {
+            name: Arc::clone(name),
+            at_ns,
+            value,
+        });
+    }
+
+    /// Remove and return every buffered counter-track sample, in record
+    /// order.
+    pub fn drain_track_points(&self) -> Vec<TrackPoint> {
+        self.inner.track.lock().drain(..).collect()
     }
 }
 

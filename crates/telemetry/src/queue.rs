@@ -32,6 +32,7 @@ use crate::Telemetry;
 pub struct QueueProbe {
     tel: Telemetry,
     depth: Arc<Gauge>,
+    depth_name: Arc<str>,
     send_wait: Arc<Histogram>,
     drain_wait: Arc<Histogram>,
     items: Arc<Counter>,
@@ -42,9 +43,11 @@ impl QueueProbe {
     /// `queue.<queue>.*` in `tel`'s registry).
     pub fn new(tel: &Telemetry, queue: &str) -> Self {
         let reg = tel.registry();
+        let depth_name = format!("queue.{queue}.depth");
         QueueProbe {
             tel: tel.clone(),
-            depth: reg.gauge_owned(format!("queue.{queue}.depth")),
+            depth: reg.gauge_owned(depth_name.clone()),
+            depth_name: depth_name.into(),
             send_wait: reg.histogram_owned(format!("queue.{queue}.send_wait_ns")),
             drain_wait: reg.histogram_owned(format!("queue.{queue}.drain_wait_ns")),
             items: reg.counter_owned(format!("queue.{queue}.items")),
@@ -57,20 +60,33 @@ impl QueueProbe {
         self.tel.is_enabled()
     }
 
+    /// Mirror the current depth onto the Chrome counter track, when track
+    /// sampling is on (off by default — one relaxed load otherwise).
+    #[inline]
+    fn sample_depth(&self) {
+        self.tel
+            .record_track_point(&self.depth_name, self.depth.get());
+    }
+
     /// Run a (possibly blocking) enqueue, recording the time it blocked
-    /// and bumping depth. The closure's result passes through untouched;
-    /// a failed send (closed channel) still counts — shutdown races skew
+    /// and bumping depth. Depth is raised *before* the send so it counts
+    /// producers blocked on a full queue and — because the matching
+    /// decrement can only happen after the item became receivable — the
+    /// gauge can never go negative under any producer/consumer
+    /// interleaving. The closure's result passes through untouched; a
+    /// failed send (closed channel) still counts — shutdown races skew
     /// the gauge by at most the few in-flight items.
     #[inline]
     pub fn send<R>(&self, send: impl FnOnce() -> R) -> R {
         if !self.is_live() {
             return send();
         }
+        self.depth.add(1);
         let t0 = Instant::now();
         let out = send();
         self.send_wait.record(t0.elapsed().as_nanos() as u64);
-        self.depth.add(1);
         self.items.incr();
+        self.sample_depth();
         out
     }
 
@@ -85,6 +101,7 @@ impl QueueProbe {
         let out = recv();
         self.drain_wait.record(t0.elapsed().as_nanos() as u64);
         self.depth.add(-1);
+        self.sample_depth();
         out
     }
 
@@ -94,6 +111,7 @@ impl QueueProbe {
         if self.is_live() {
             self.depth.add(1);
             self.items.incr();
+            self.sample_depth();
         }
     }
 
@@ -110,6 +128,7 @@ impl QueueProbe {
         if self.is_live() {
             self.depth.add(-(n as i64));
             self.drain_wait.record(wait_ns);
+            self.sample_depth();
         }
     }
 
@@ -137,11 +156,15 @@ mod tests {
         assert_eq!(snap.counter("queue.pipeline.append.items"), 2);
         assert_eq!(snap.gauge("queue.pipeline.append.depth"), Some(1));
         assert_eq!(
-            snap.histogram("queue.pipeline.append.send_wait_ns").unwrap().count,
+            snap.histogram("queue.pipeline.append.send_wait_ns")
+                .unwrap()
+                .count,
             2
         );
         assert_eq!(
-            snap.histogram("queue.pipeline.append.drain_wait_ns").unwrap().count,
+            snap.histogram("queue.pipeline.append.drain_wait_ns")
+                .unwrap()
+                .count,
             1
         );
     }
@@ -157,10 +180,7 @@ mod tests {
         assert_eq!(probe.depth(), 0);
         let snap = tel.snapshot();
         assert_eq!(snap.counter("queue.q.items"), 0);
-        assert!(snap
-            .histograms
-            .iter()
-            .all(|(_, h)| h.count == 0));
+        assert!(snap.histograms.iter().all(|(_, h)| h.count == 0));
     }
 
     #[test]
@@ -175,6 +195,11 @@ mod tests {
         assert_eq!(probe.depth(), 0);
         let snap = tel.snapshot();
         assert_eq!(snap.counter("queue.kv.group.items"), 3);
-        assert_eq!(snap.histogram("queue.kv.group.drain_wait_ns").unwrap().count, 1);
+        assert_eq!(
+            snap.histogram("queue.kv.group.drain_wait_ns")
+                .unwrap()
+                .count,
+            1
+        );
     }
 }

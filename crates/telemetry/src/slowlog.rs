@@ -142,6 +142,15 @@ pub fn span_json(record: &SpanRecord) -> String {
         ",\"start_ns\":{},\"dur_ns\":{}",
         record.start_ns, record.dur_ns
     );
+    // Allocation charges from the counting allocator: omitted when all
+    // zero (no allocator installed) so existing consumers see no change.
+    if record.alloc_bytes > 0 || record.alloc_calls > 0 || record.peak_bytes > 0 {
+        let _ = write!(
+            out,
+            ",\"alloc_bytes\":{},\"alloc_calls\":{},\"peak_bytes\":{}",
+            record.alloc_bytes, record.alloc_calls, record.peak_bytes
+        );
+    }
     if !record.metrics.is_empty() {
         out.push_str(",\"metrics\":{");
         for (i, (m, v)) in record.metrics.iter().enumerate() {
@@ -265,7 +274,29 @@ mod tests {
             start_ns: id,
             dur_ns,
             metrics: Vec::new(),
+            alloc_bytes: 0,
+            alloc_calls: 0,
+            peak_bytes: 0,
         }
+    }
+
+    #[test]
+    fn alloc_fields_render_when_charged() {
+        let mut r = rec(1, None, "query.ferry", 9_000);
+        r.alloc_bytes = 123_456;
+        r.alloc_calls = 42;
+        r.peak_bytes = 65_536;
+        let json = span_json(&r);
+        assert!(
+            json.contains("\"alloc_bytes\":123456,\"alloc_calls\":42,\"peak_bytes\":65536"),
+            "{json}"
+        );
+        // All-zero records stay byte-compatible with the pre-accounting
+        // format.
+        assert!(
+            !span_json(&rec(2, None, "q", 1)).contains("alloc"),
+            "{json}"
+        );
     }
 
     #[test]

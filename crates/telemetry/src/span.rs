@@ -94,6 +94,15 @@ pub struct SpanRecord {
     pub dur_ns: u64,
     /// Named metrics attached via [`SpanGuard::record`], summed per name.
     pub metrics: Vec<(&'static str, u64)>,
+    /// Bytes allocated on the span's thread while it was open (zero when
+    /// no [counting allocator](crate::alloc) is installed). Includes
+    /// same-thread children, excludes fanned-out worker threads.
+    pub alloc_bytes: u64,
+    /// Allocator calls on the span's thread while it was open.
+    pub alloc_calls: u64,
+    /// High-water mark of net live bytes on the span's thread relative
+    /// to span start (see [`crate::alloc`]).
+    pub peak_bytes: u64,
 }
 
 impl SpanRecord {
@@ -118,6 +127,11 @@ struct Active {
     metrics: Vec<(&'static str, u64)>,
     start_ns: u64,
     start: Instant,
+    /// Thread allocation counters at open (None without a counting
+    /// allocator); closed out on drop into the record's alloc fields.
+    alloc: Option<crate::alloc::AllocMark>,
+    /// Whether a profiler shadow-stack frame was pushed and a pop is owed.
+    profiled: bool,
 }
 
 /// RAII guard for a live span. Records a [`SpanRecord`] on drop, or
@@ -158,6 +172,8 @@ impl SpanGuard {
             }
         };
         let prev = CURRENT.with(|c| c.replace(Some((tag, id, trace))));
+        let profiled = crate::profile::push_frame(name);
+        let alloc = crate::alloc::span_enter();
         let start_ns = tel.now_ns();
         SpanGuard(Some(Active {
             tel,
@@ -170,6 +186,8 @@ impl SpanGuard {
             metrics: Vec::new(),
             start_ns,
             start: Instant::now(),
+            alloc,
+            profiled,
         }))
     }
 
@@ -211,6 +229,12 @@ impl SpanGuard {
     pub fn cancel(mut self) {
         if let Some(a) = self.0.take() {
             CURRENT.with(|c| c.set(a.prev));
+            if let Some(mark) = a.alloc {
+                let _ = crate::alloc::span_exit(mark); // restore parent peak
+            }
+            if a.profiled {
+                crate::profile::pop_frame();
+            }
         }
     }
 }
@@ -220,6 +244,10 @@ impl Drop for SpanGuard {
         if let Some(a) = self.0.take() {
             let dur_ns = a.start.elapsed().as_nanos() as u64;
             CURRENT.with(|c| c.set(a.prev));
+            let alloc = a.alloc.map(crate::alloc::span_exit).unwrap_or_default();
+            if a.profiled {
+                crate::profile::pop_frame();
+            }
             a.tel.push_span(SpanRecord {
                 id: a.id,
                 parent: a.parent,
@@ -230,6 +258,9 @@ impl Drop for SpanGuard {
                 start_ns: a.start_ns,
                 dur_ns,
                 metrics: a.metrics,
+                alloc_bytes: alloc.bytes,
+                alloc_calls: alloc.calls,
+                peak_bytes: alloc.peak_bytes,
             });
         }
     }
@@ -359,6 +390,9 @@ mod tests {
             start_ns,
             dur_ns: 10,
             metrics: Vec::new(),
+            alloc_bytes: 0,
+            alloc_calls: 0,
+            peak_bytes: 0,
         }
     }
 
@@ -385,7 +419,11 @@ mod tests {
         assert_eq!(ctx.trace_id(), root.id, "root's trace id is its own id");
         assert_eq!(worker.parent, Some(root.id), "handoff sets the parent");
         assert_eq!(worker.trace, root.trace, "trace id crosses the thread");
-        assert_eq!(inner.parent, Some(worker.id), "nesting resumes on the worker");
+        assert_eq!(
+            inner.parent,
+            Some(worker.id),
+            "nesting resumes on the worker"
+        );
         assert_eq!(inner.trace, root.trace);
         assert_ne!(worker.thread, root.thread, "lanes identify threads");
         let tree = build_tree(spans);

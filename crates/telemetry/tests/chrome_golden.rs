@@ -29,6 +29,9 @@ fn span(
         start_ns,
         dur_ns,
         metrics: Vec::new(),
+        alloc_bytes: 0,
+        alloc_calls: 0,
+        peak_bytes: 0,
     }
 }
 
@@ -84,7 +87,10 @@ fn golden_file_keeps_the_trace_event_schema() {
     assert_eq!(golden.matches('{').count(), golden.matches('}').count());
 
     let complete_events = golden.matches("\"ph\":\"X\"").count();
-    assert!(complete_events >= 6, "lost complete events: {complete_events}");
+    assert!(
+        complete_events >= 6,
+        "lost complete events: {complete_events}"
+    );
     for key in ["\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"] {
         assert!(
             golden.matches(key).count() >= complete_events,

@@ -19,6 +19,9 @@ fn record(id: u64, name: &'static str) -> SpanRecord {
         start_ns: id,
         dur_ns: 1,
         metrics: Vec::new(),
+        alloc_bytes: 0,
+        alloc_calls: 0,
+        peak_bytes: 0,
     }
 }
 

@@ -1,0 +1,169 @@
+//! QueueProbe under multi-producer contention, and histogram saturation.
+//!
+//! The depth gauge is the one queue instrument whose correctness depends
+//! on ordering across threads: the probe raises depth *before* a
+//! blocking send and lowers it only after a successful receive, so any
+//! interleaving of producers and consumers must keep the gauge
+//! non-negative. A sampler thread races the workload and checks every
+//! observation; the wait histograms must meanwhile be monotone (counts
+//! never decrease between snapshots).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fabric_telemetry::{Histogram, QueueProbe, Telemetry};
+
+#[test]
+fn depth_gauge_never_goes_negative_under_contention() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 2_000;
+
+    let tel = Telemetry::enabled();
+    let probe = QueueProbe::new(&tel, "contention");
+    let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(8);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let probe = probe.clone();
+        let tel = tel.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut observations = 0u64;
+            let mut last_send_count = 0u64;
+            let mut last_drain_count = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let depth = probe.depth();
+                assert!(depth >= 0, "depth gauge dipped negative: {depth}");
+                // Depth is bounded by capacity + producers blocked in
+                // send, plus one: the consumer decrements *after* its
+                // recv closure returns, so a just-received item can
+                // still be counted for an instant.
+                assert!(
+                    depth <= 8 + PRODUCERS as i64 + 1,
+                    "depth above any possible backlog: {depth}"
+                );
+                let snap = tel.snapshot();
+                for (name, last) in [
+                    ("queue.contention.send_wait_ns", &mut last_send_count),
+                    ("queue.contention.drain_wait_ns", &mut last_drain_count),
+                ] {
+                    if let Some(h) = snap.histogram(name) {
+                        assert!(
+                            h.count >= *last,
+                            "{name} went backwards: {} < {last}",
+                            h.count
+                        );
+                        *last = h.count;
+                    }
+                }
+                observations += 1;
+                std::thread::yield_now();
+            }
+            observations
+        })
+    };
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let probe = probe.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    probe.send(|| tx.send(p * PER_PRODUCER + i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    // Receive an exact count: a recv against the closed channel would
+    // still decrement the gauge (documented shutdown skew), which is
+    // exactly the case the live-traffic invariant excludes.
+    for _ in 0..PRODUCERS * PER_PRODUCER {
+        probe.recv(|| rx.recv()).unwrap();
+    }
+    for t in producers {
+        t.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let observations = sampler.join().unwrap();
+
+    assert!(observations > 0, "sampler never ran");
+    let snap = tel.snapshot();
+    assert_eq!(
+        snap.counter("queue.contention.items"),
+        (PRODUCERS * PER_PRODUCER) as u64
+    );
+    assert_eq!(
+        snap.gauge("queue.contention.depth"),
+        Some(0),
+        "everything delivered, gauge must rest at zero"
+    );
+    let send_wait = snap.histogram("queue.contention.send_wait_ns").unwrap();
+    assert_eq!(send_wait.count, (PRODUCERS * PER_PRODUCER) as u64);
+    let drain_wait = snap.histogram("queue.contention.drain_wait_ns").unwrap();
+    assert_eq!(drain_wait.count, (PRODUCERS * PER_PRODUCER) as u64);
+}
+
+#[test]
+fn wait_histograms_saturate_at_the_top_bucket() {
+    // A wait so long it lands past every finite bucket bound must clamp
+    // into the top bucket, keep counting, and keep quantiles monotone.
+    let h = Histogram::new();
+    for _ in 0..10 {
+        h.record(u64::MAX);
+    }
+    h.record(1);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 11);
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.quantile(1.0), u64::MAX, "top bucket reports max");
+    assert!(
+        snap.quantile(0.99) >= snap.quantile(0.5),
+        "quantiles must stay monotone under saturation"
+    );
+    // Saturated recordings all share the top bucket: the quantile walk
+    // must not run past it no matter how many land there.
+    for _ in 0..1_000 {
+        h.record(u64::MAX - 1);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1_011);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+
+    // And through a probe: a manual wait of u64::MAX must not panic and
+    // must land in the same saturated bucket.
+    let tel = Telemetry::enabled();
+    let probe = QueueProbe::new(&tel, "sat");
+    probe.enqueued();
+    probe.send_waited_ns(u64::MAX);
+    probe.drained(1, u64::MAX);
+    let snap = tel.snapshot();
+    assert_eq!(snap.histogram("queue.sat.send_wait_ns").unwrap().count, 1);
+    assert_eq!(
+        snap.histogram("queue.sat.send_wait_ns").unwrap().max,
+        u64::MAX
+    );
+    assert_eq!(snap.histogram("queue.sat.drain_wait_ns").unwrap().count, 1);
+}
+
+#[test]
+fn depth_track_points_record_only_when_enabled() {
+    let tel = Telemetry::enabled();
+    let probe = QueueProbe::new(&tel, "tracked");
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(4);
+    probe.send(|| tx.send(1)).unwrap();
+    assert!(
+        tel.drain_track_points().is_empty(),
+        "track points must be off by default"
+    );
+    tel.enable_track_points(true);
+    probe.send(|| tx.send(2)).unwrap();
+    probe.recv(|| rx.recv()).unwrap();
+    let points = tel.drain_track_points();
+    assert_eq!(points.len(), 2, "one sample per depth change");
+    assert!(points.iter().all(|p| &*p.name == "queue.tracked.depth"));
+    assert_eq!(points[0].value, 2, "after second send");
+    assert_eq!(points[1].value, 1, "after recv");
+    assert!(points[0].at_ns <= points[1].at_ns);
+}

@@ -185,7 +185,9 @@ fn auto_planner_never_beaten_by_a_fixed_engine() {
             let (tqf_blocks, _) = cost(&TqfEngine, &fx.base, key, tau);
             let (m1_blocks, _) = cost(&m1, &fx.base, key, tau);
             let before = fx.base.stats();
-            let got = AutoEngine::default().events_for_key(&fx.base, key, tau).unwrap();
+            let got = AutoEngine::default()
+                .events_for_key(&fx.base, key, tau)
+                .unwrap();
             let auto_blocks = fx.base.stats().delta(&before).blocks_deserialized;
             assert_eq!(got, expected, "auto answer diverged for {key} over {tau}");
             assert!(
@@ -198,7 +200,9 @@ fn auto_planner_never_beaten_by_a_fixed_engine() {
             // match its cost.
             let (m2_blocks, _) = cost(&m2, &fx.m2, key, tau);
             let before = fx.m2.stats();
-            let got = AutoEngine::default().events_for_key(&fx.m2, key, tau).unwrap();
+            let got = AutoEngine::default()
+                .events_for_key(&fx.m2, key, tau)
+                .unwrap();
             let auto_m2_blocks = fx.m2.stats().delta(&before).blocks_deserialized;
             assert_eq!(
                 got, expected,
@@ -238,11 +242,15 @@ fn auto_matches_every_fixed_engine_on_random_windows() {
     let keys = fx.keys();
     proptest::run_cases(&windows, |tau| {
         for &key in &keys {
-            let auto = AutoEngine::default().events_for_key(&fx.base, key, tau).unwrap();
+            let auto = AutoEngine::default()
+                .events_for_key(&fx.base, key, tau)
+                .unwrap();
             let tqf = TqfEngine.events_for_key(&fx.base, key, tau).unwrap();
             let m1r = m1.events_for_key(&fx.base, key, tau).unwrap();
             let m2r = m2.events_for_key(&fx.m2, key, tau).unwrap();
-            let auto_m2 = AutoEngine::default().events_for_key(&fx.m2, key, tau).unwrap();
+            let auto_m2 = AutoEngine::default()
+                .events_for_key(&fx.m2, key, tau)
+                .unwrap();
             prop_assert_eq!(&auto, &tqf, "auto vs TQF for {} over {}", key, tau);
             prop_assert_eq!(&auto, &m1r, "auto vs M1 for {} over {}", key, tau);
             prop_assert_eq!(&auto, &m2r, "auto vs M2 for {} over {}", key, tau);
