@@ -344,6 +344,11 @@ pub fn run(ctx: &Ctx) -> Result<String> {
     report.push_str(&table.to_markdown());
     report.push('\n');
 
+    // ── Section 4: commit-path ablation (validation × shards) ───────────
+    // Lives in its own module; its samples join this table's bench file
+    // so one `BENCH_ingest.json` covers the whole write path.
+    report.push_str(&crate::tables::commit::run(ctx, &mut samples)?);
+
     ctx.save_result("ingest.csv", &csv.to_csv());
     if ctx.json_out.is_some() {
         ctx.save_bench_file(&bench_file_from_samples("ingest", ctx.machine(), &samples));

@@ -1,6 +1,7 @@
 //! One module per paper table. Each `run` returns the rendered report and
 //! saves a CSV under `target/bench-data/results/`.
 
+pub mod commit;
 pub mod ingest;
 pub mod table1;
 pub mod table2;

@@ -12,8 +12,8 @@
 
 use std::sync::Arc;
 
-use fabric_ledger::{Ledger, LedgerConfig};
-use fabric_telemetry::{MetricsServer, SlowLogConfig};
+use fabric_ledger::{Ledger, LedgerConfig, ShardedLedger};
+use fabric_telemetry::{MetricsServer, SlowLogConfig, Telemetry};
 use temporal_bench::regress::{diff, BenchFile, DiffConfig};
 
 use crate::args::Args;
@@ -28,8 +28,26 @@ type CliResult = Result<(), String>;
 pub fn serve(args: &Args) -> CliResult {
     let dir = args.pos(1, "dir")?;
     let addr = args.opt("addr").unwrap_or("127.0.0.1:9464");
-    let ledger = Arc::new(Ledger::open(dir, LedgerConfig::default()).map_err(|e| e.to_string())?);
-    let tel = ledger.telemetry().clone();
+    // With `--shards N` the scrape hook publishes per-shard gauges
+    // (`ledger.shard.<i>.blocks` / `.events`) alongside the totals.
+    enum Opened {
+        Single(Arc<Ledger>),
+        Sharded(Arc<ShardedLedger>),
+    }
+    let opened = match args.opt_u64("shards")? {
+        Some(0) => return Err("--shards must be at least 1".to_string()),
+        Some(n) => Opened::Sharded(Arc::new(
+            ShardedLedger::open(dir, LedgerConfig::default(), n as usize)
+                .map_err(|e| e.to_string())?,
+        )),
+        None => Opened::Single(Arc::new(
+            Ledger::open(dir, LedgerConfig::default()).map_err(|e| e.to_string())?,
+        )),
+    };
+    let tel: Telemetry = match &opened {
+        Opened::Single(l) => l.telemetry().clone(),
+        Opened::Sharded(l) => l.telemetry().clone(),
+    };
     tel.enable();
 
     let slow_ms = args.opt_u64("slow-ms")?;
@@ -56,13 +74,18 @@ pub fn serve(args: &Args) -> CliResult {
         tel.install_slow_log(config, sink);
     }
 
-    let collect_ledger = ledger.clone();
-    let mut server = MetricsServer::bind(
-        addr,
-        tel,
-        Some(Box::new(move |_tel| collect_ledger.publish_gauges())),
-    )
-    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let collect: Box<dyn Fn(&Telemetry) + Send + Sync> = match &opened {
+        Opened::Single(l) => {
+            let l = l.clone();
+            Box::new(move |_tel| l.publish_gauges())
+        }
+        Opened::Sharded(l) => {
+            let l = l.clone();
+            Box::new(move |_tel| l.publish_gauges())
+        }
+    };
+    let mut server = MetricsServer::bind(addr, tel, Some(collect))
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     if let Some(n) = args.opt_u64("requests")? {
         server = server.with_max_requests(n);
     }
@@ -229,6 +252,79 @@ mod tests {
         // Malformed specs are hard errors.
         assert!(run(&["bench-diff", &base, &base, "--counter-tol-for", "nope"]).is_err());
         assert!(run(&["bench-diff", &base, &base, "--counter-tol-for", "k=x"]).is_err());
+    }
+
+    #[test]
+    fn serve_sharded_publishes_per_shard_gauges() {
+        let dir = TempDir::new("serve-sharded");
+        let ledger_dir = dir.path("ledger");
+        run(&[
+            "demo",
+            ledger_dir.to_str().unwrap(),
+            "ds3",
+            "--scale",
+            "4",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        let addr_file = dir.path("addr");
+        let argv: Vec<String> = [
+            "serve",
+            ledger_dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--requests",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || dispatch(&argv));
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                    if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                        break addr;
+                    }
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "addr file never appeared"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let (code, metrics) = fabric_telemetry::http_get(addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        for g in [
+            "tf_ledger_height",
+            "tf_ledger_shards 2",
+            "tf_ledger_shard_0_blocks",
+            "tf_ledger_shard_1_blocks",
+            "tf_ledger_shard_0_events",
+            "tf_ledger_shard_1_events",
+        ] {
+            assert!(metrics.contains(g), "missing {g}: {metrics}");
+        }
+        server.join().unwrap().unwrap();
+        // Mismatched shard count cannot serve.
+        assert!(run(&[
+            "serve",
+            ledger_dir.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--addr",
+            "127.0.0.1:0",
+            "--requests",
+            "1",
+        ])
+        .is_err());
     }
 
     #[test]

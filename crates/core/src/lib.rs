@@ -18,8 +18,9 @@
 //! ([`interval`]), partition strategies including the paper's future-work
 //! event-count-balanced variant ([`partition`]), the `EV(k,θ)` value codec
 //! ([`evset`]), the M2 base-data compatibility layer ([`base_api`]), the
-//! supply-chain temporal join — query Q — ([`join`]), and measurement
-//! utilities ([`stats`]).
+//! supply-chain temporal join — query Q — ([`join`]), parallel and
+//! sharded query execution ([`parallel`]), and measurement utilities
+//! ([`stats`]).
 //!
 //! ## Example: M2 end to end
 //!
@@ -73,14 +74,16 @@ pub use analyze::{explain_analyze, AnalyzedPlan, StepMeasurement};
 pub use base_api::M2BaseApi;
 pub use calibrate::{CalibratedCursor, CalibrationGroup, PlannerLog, PlannerRecord};
 pub use cursor::{drain, EventCursor, VecCursor};
-pub use engine::TemporalEngine;
+pub use engine::{list_keys_sharded, TemporalEngine};
 pub use evset::{EvSet, TemporalEvent};
 pub use explain::{ExplainQuery, PlanStep, QueryPlan};
 pub use interval::Interval;
 pub use join::{build_stays, ferry_query, FerryRecord, JoinOutcome, Span, Stay, StayBuilder};
 pub use m1::{M1Engine, M1Indexer, M1Maintenance};
 pub use m2::{M2Encoder, M2Engine};
-pub use parallel::{events_for_keys_parallel, ferry_query_parallel};
+pub use parallel::{
+    events_for_keys_parallel, events_for_keys_sharded, ferry_query_parallel, ferry_query_sharded,
+};
 pub use partition::{EventCountBalanced, FixedLength, PartitionStrategy};
 pub use planner::{AccessPath, AutoEngine, PlanChoice};
 pub use stats::{measure, QueryStats, SimCostModel};

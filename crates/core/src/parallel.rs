@@ -19,7 +19,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use fabric_ledger::{Error, Ledger, Result};
+use fabric_ledger::{Error, Ledger, Result, ShardedLedger};
 use fabric_telemetry::QueueProbe;
 use fabric_workload::{EntityId, EntityKind, Event};
 
@@ -268,6 +268,184 @@ pub fn ferry_query_parallel(
     })
 }
 
+/// Span name for per-shard query fan-out work; like
+/// [`fabric_ledger::sharded::SHARD_COMMIT_SPAN`], the `shard.` prefix plus
+/// a `shard <i>` label routes these spans to per-shard lanes in the chrome
+/// exporter.
+pub const SHARD_QUERY_SPAN: &str = "shard.query";
+
+fn shard_worker_panic() -> Error {
+    Error::Io {
+        context: SHARD_QUERY_SPAN.to_string(),
+        source: std::io::Error::other("shard query worker panicked"),
+    }
+}
+
+/// Retrieve events for every key in `keys` from a [`ShardedLedger`]:
+/// keys group by owning shard, each shard's group fans out over `workers`
+/// threads via [`events_for_keys_parallel`] on its own scoped thread, and
+/// per-key results scatter back into `keys` order. Output is identical to
+/// querying a single-shard ledger holding the same data.
+pub fn events_for_keys_sharded(
+    engine: &(dyn TemporalEngine + Sync),
+    ledger: &ShardedLedger,
+    keys: &[EntityId],
+    tau: Interval,
+    workers: usize,
+) -> Result<Vec<Vec<Event>>> {
+    let n = ledger.shard_count();
+    let mut groups: Vec<(Vec<usize>, Vec<EntityId>)> =
+        (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+    for (i, &key) in keys.iter().enumerate() {
+        let s = ledger.shard_index_for_key(&key.key());
+        groups[s].0.push(i);
+        groups[s].1.push(key);
+    }
+    let tel = ledger.telemetry();
+    let ctx = tel.current_context();
+    let mut out: Vec<Vec<Event>> = Vec::new();
+    out.resize_with(keys.len(), Vec::new);
+    let gathered = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (s, (indices, shard_keys)) in groups.iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let shard = ledger.shard(s);
+            let handle = scope.spawn(move || {
+                let _g = tel
+                    .span_in(SHARD_QUERY_SPAN, ctx)
+                    .with_label(format!("shard {s}"));
+                events_for_keys_parallel(engine, shard, shard_keys, tau, workers)
+            });
+            handles.push((indices, handle));
+        }
+        handles
+            .into_iter()
+            .map(|(indices, h)| match h.join() {
+                Ok(r) => r.map(|events| (indices, events)),
+                Err(_) => Err(shard_worker_panic()),
+            })
+            .collect::<Vec<_>>()
+    });
+    for entry in gathered {
+        let (indices, events) = entry?;
+        for (&i, evs) in indices.iter().zip(events) {
+            out[i] = evs;
+        }
+    }
+    Ok(out)
+}
+
+/// Sharded version of [`crate::join::ferry_query`]: every shard folds its
+/// own keys' stays concurrently (each internally fanned out over
+/// `workers` threads with the same bounded-slot streaming as
+/// [`ferry_query_parallel`]), then one global temporal join runs over the
+/// merged stay maps. Because the router keeps each entity wholly on one
+/// shard, the merged maps — and so the join records — are identical to a
+/// single-shard ledger's.
+pub fn ferry_query_sharded(
+    engine: &(dyn TemporalEngine + Sync),
+    ledger: &ShardedLedger,
+    tau: Interval,
+    workers: usize,
+) -> Result<JoinOutcome> {
+    struct ShardStays {
+        shipments: HashMap<EntityId, Vec<crate::join::Stay>>,
+        containers: HashMap<EntityId, Vec<crate::join::Stay>>,
+        events_scanned: usize,
+        peak: usize,
+    }
+    let tel = ledger.telemetry();
+    let mut query_span = tel.span("query.ferry.sharded").with_label(format!(
+        "{} tau=({},{}] shards={} workers={workers}",
+        engine.name(),
+        tau.start,
+        tau.end,
+        ledger.shard_count()
+    ));
+    let ctx = tel.current_context();
+    let before = ledger.stats();
+    let start = Instant::now();
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            ledger
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(s, shard)| {
+                    scope.spawn(move || -> Result<ShardStays> {
+                        let _g = tel
+                            .span_in(SHARD_QUERY_SPAN, ctx)
+                            .with_label(format!("shard {s}"));
+                        let shipments = engine.list_keys(shard, EntityKind::Shipment)?;
+                        let containers = engine.list_keys(shard, EntityKind::Container)?;
+                        let mut events_scanned = 0usize;
+                        let mut peak = 0usize;
+                        let mut fold =
+                        |keys: &[EntityId]| -> Result<HashMap<EntityId, Vec<crate::join::Stay>>> {
+                            let mut builders: Vec<StayBuilder> =
+                                keys.iter().map(|_| StayBuilder::new(tau)).collect();
+                            let p =
+                                stream_events_parallel(engine, shard, keys, tau, workers, |i, ev| {
+                                    events_scanned += 1;
+                                    builders[i].push(&ev);
+                                    Ok(())
+                                })?;
+                            peak = peak.max(p);
+                            Ok(keys
+                                .iter()
+                                .copied()
+                                .zip(builders.into_iter().map(StayBuilder::finish))
+                                .collect())
+                        };
+                        let shipments = fold(&shipments)?;
+                        let containers = fold(&containers)?;
+                        Ok(ShardStays {
+                            shipments,
+                            containers,
+                            events_scanned,
+                            peak,
+                        })
+                    })
+                })
+                .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err(shard_worker_panic())))
+            .collect::<Vec<_>>()
+    });
+    let mut shipment_stays = HashMap::new();
+    let mut container_stays = HashMap::new();
+    let mut events_scanned = 0usize;
+    let mut peak_buffered_events = 0usize;
+    for r in results {
+        let s = r?;
+        shipment_stays.extend(s.shipments);
+        container_stays.extend(s.containers);
+        events_scanned += s.events_scanned;
+        peak_buffered_events = peak_buffered_events.max(s.peak);
+    }
+    let retrieval_wall = start.elapsed();
+    let records = temporal_join(&shipment_stays, &container_stays);
+    let stats = crate::stats::QueryStats {
+        wall: start.elapsed(),
+        io: ledger.stats().delta(&before),
+    };
+    query_span.record("records", records.len() as u64);
+    query_span.record("events_scanned", events_scanned as u64);
+    query_span.record("blocks", stats.blocks_deserialized());
+    query_span.record("shards", ledger.shard_count() as u64);
+    query_span.record("workers", workers as u64);
+    Ok(JoinOutcome {
+        records,
+        events_scanned,
+        stats,
+        retrieval_wall,
+        peak_buffered_events,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +537,54 @@ mod tests {
         // Empty key list.
         let none = events_for_keys_parallel(&TqfEngine, &ledger, &[], tau, 4).unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn sharded_ferry_and_key_retrieval_match_single_shard() {
+        use fabric_workload::ingest_sharded;
+        let plain_dir = TempDir::new("sharded-plain");
+        let sharded_dir = TempDir::new("sharded-4");
+        // Factor 4 keeps enough distinct entities to populate 4 shards.
+        let workload = generate_scaled(DatasetId::Ds3, 4);
+        let plain = fabric_ledger::Ledger::open(&plain_dir.0, LedgerConfig::default()).unwrap();
+        ingest(
+            &plain,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
+        let sharded = ShardedLedger::open(&sharded_dir.0, LedgerConfig::default(), 4).unwrap();
+        ingest_sharded(
+            &sharded,
+            &workload.events,
+            IngestMode::MultiEvent,
+            &IdentityEncoder,
+        )
+        .unwrap();
+        let tau = Interval::new(0, workload.params.t_max / 2);
+        let seq = ferry_query(&TqfEngine, &plain, tau).unwrap();
+        let shd = ferry_query_sharded(&TqfEngine, &sharded, tau, 2).unwrap();
+        assert_eq!(shd.records, seq.records);
+        assert_eq!(shd.events_scanned, seq.events_scanned);
+        // Key listing merges shards back to the single-ledger list.
+        let kinds = crate::engine::list_keys_sharded(
+            &TqfEngine,
+            &sharded,
+            fabric_workload::EntityKind::Shipment,
+        )
+        .unwrap();
+        assert_eq!(
+            kinds,
+            TqfEngine
+                .list_keys(&plain, fabric_workload::EntityKind::Shipment)
+                .unwrap()
+        );
+        // Per-key retrieval scatters back into input order.
+        let keys = workload.keys();
+        let a = events_for_keys_parallel(&TqfEngine, &plain, &keys, tau, 2).unwrap();
+        let b = events_for_keys_sharded(&TqfEngine, &sharded, &keys, tau, 2).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

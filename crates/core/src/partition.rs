@@ -7,6 +7,11 @@
 //! that future-work list — per-key intervals balanced by event count, so
 //! hot keys get finer intervals — and is compared against fixed-`u` in the
 //! ablation benchmarks.
+//!
+//! These strategies partition *time* within one ledger. Partitioning the
+//! *key space* across ledgers is a different axis entirely — see
+//! [`fabric_ledger::sharded`] for the key-range-sharded commit path and
+//! [`crate::parallel`] for the query fan-out that spans it.
 
 use crate::interval::Interval;
 

@@ -214,6 +214,22 @@ impl AutoEngine {
     /// Plan `(key, tau)` without executing: derive block bounds for the
     /// candidate paths and pick one. Cheap — metadata and index reads
     /// only, no block is deserialized.
+    /// Plan `(key, tau)` against a [`fabric_ledger::ShardedLedger`]: route
+    /// to the shard owning `key` and plan there. The per-shard ledger's
+    /// block geometry is exactly what a cursor will traverse, so the
+    /// bounds are as tight as on a single-shard ledger.
+    pub fn choose_sharded(
+        &self,
+        ledger: &fabric_ledger::ShardedLedger,
+        key: EntityId,
+        tau: Interval,
+    ) -> Result<PlanChoice> {
+        self.choose(ledger.shard_for_key(&key.key()), key, tau)
+    }
+
+    /// Plan `(key, tau)` without executing: derive block bounds for the
+    /// candidate paths and pick one. Cheap — metadata and index reads
+    /// only, no block is deserialized.
     pub fn choose(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<PlanChoice> {
         let meta = m1::read_meta(ledger)?;
         let profile = ledger.history_profile(&key.key())?;

@@ -62,6 +62,7 @@ impl QueryStats {
                 range_scan_calls: self.io.range_scan_calls + other.io.range_scan_calls,
                 txs_committed: self.io.txs_committed + other.io.txs_committed,
                 blocks_committed: self.io.blocks_committed + other.io.blocks_committed,
+                events_committed: self.io.events_committed + other.io.events_committed,
             },
         }
     }

@@ -31,6 +31,19 @@ pub struct LedgerConfig {
     /// that read their own writes must [`crate::Ledger::drain_commits`]
     /// first.
     pub pipeline: bool,
+    /// Validate each block's MVCC read sets on a dependency-wave thread
+    /// pool instead of the serial in-order scan. **Off by default**: the
+    /// serial scan is the paper's cost model. The parallel validator is
+    /// bit-identical — a transaction conflicting with an *earlier valid*
+    /// transaction in the same block is still marked `MvccConflict` —
+    /// because transactions are grouped into waves such that every
+    /// earlier writer of a key a transaction reads has already been
+    /// decided (see [`crate::validate`]).
+    pub parallel_validate: bool,
+    /// Worker threads for the parallel validator. **Zero (default)**
+    /// derives the count from available parallelism; ignored unless
+    /// [`LedgerConfig::parallel_validate`] is set.
+    pub validate_threads: usize,
     /// Group history locations by block so each block is read and decoded
     /// at most once per GHFK scan (on by default). Turning this off
     /// restores the per-location read path — one block fetch per
@@ -54,6 +67,8 @@ impl Default for LedgerConfig {
             cache_blocks: 0,
             cache_shards: 0,
             pipeline: false,
+            parallel_validate: false,
+            validate_threads: 0,
             coalesce_history: true,
             state_db: KvOptions::default(),
             index_db: KvOptions::default(),
@@ -71,6 +86,8 @@ impl LedgerConfig {
             cache_blocks: 0,
             cache_shards: 0,
             pipeline: false,
+            parallel_validate: false,
+            validate_threads: 0,
             coalesce_history: true,
             state_db: KvOptions::small_for_tests(),
             index_db: KvOptions::small_for_tests(),
@@ -106,6 +123,22 @@ impl LedgerConfig {
         self.pipeline = on;
         self
     }
+
+    /// Builder-style setter for [`LedgerConfig::parallel_validate`].
+    pub fn with_parallel_validate(mut self, on: bool) -> Self {
+        self.parallel_validate = on;
+        self
+    }
+
+    /// Builder-style setter for [`LedgerConfig::validate_threads`]
+    /// (implies [`LedgerConfig::parallel_validate`] when `n > 0`).
+    pub fn with_validate_threads(mut self, n: usize) -> Self {
+        self.validate_threads = n;
+        if n > 0 {
+            self.parallel_validate = true;
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +153,11 @@ mod tests {
         assert_eq!(c.cache_shards, 0, "shard count must default to auto");
         assert!(c.coalesce_history, "coalescing is on by default");
         assert!(!c.pipeline, "serial commit is the paper's cost model");
+        assert!(
+            !c.parallel_validate,
+            "serial validation is the paper's cost model"
+        );
+        assert_eq!(c.validate_threads, 0, "thread count defaults to auto");
     }
 
     #[test]
@@ -129,11 +167,21 @@ mod tests {
             .with_cache_blocks(16)
             .with_cache_shards(4)
             .with_coalesce_history(false)
-            .with_pipeline(true);
+            .with_pipeline(true)
+            .with_validate_threads(4);
         assert_eq!(c.block_max_txs, 50);
         assert_eq!(c.cache_blocks, 16);
         assert_eq!(c.cache_shards, 4);
         assert!(!c.coalesce_history);
         assert!(c.pipeline);
+        assert!(c.parallel_validate, "validate threads imply parallel");
+        assert_eq!(c.validate_threads, 4);
+    }
+
+    #[test]
+    fn parallel_validate_toggle_keeps_auto_threads() {
+        let c = LedgerConfig::default().with_parallel_validate(true);
+        assert!(c.parallel_validate);
+        assert_eq!(c.validate_threads, 0);
     }
 }

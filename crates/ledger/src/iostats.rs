@@ -41,6 +41,9 @@ pub struct IoStats {
     pub txs_committed: AtomicU64,
     /// Blocks committed.
     pub blocks_committed: AtomicU64,
+    /// State writes applied from *valid* transactions — the number of
+    /// history entries the ledger has grown by, i.e. committed events.
+    pub events_committed: AtomicU64,
 }
 
 impl IoStats {
@@ -73,6 +76,7 @@ impl IoStats {
             range_scan_calls: self.range_scan_calls.load(Ordering::Relaxed),
             txs_committed: self.txs_committed.load(Ordering::Relaxed),
             blocks_committed: self.blocks_committed.load(Ordering::Relaxed),
+            events_committed: self.events_committed.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +106,8 @@ pub struct IoStatsSnapshot {
     pub txs_committed: u64,
     /// See [`IoStats::blocks_committed`].
     pub blocks_committed: u64,
+    /// See [`IoStats::events_committed`].
+    pub events_committed: u64,
 }
 
 impl IoStatsSnapshot {
@@ -135,6 +141,32 @@ impl IoStatsSnapshot {
             blocks_committed: self
                 .blocks_committed
                 .saturating_sub(earlier.blocks_committed),
+            events_committed: self
+                .events_committed
+                .saturating_sub(earlier.events_committed),
+        }
+    }
+
+    /// Counter-wise sum `self + other` (saturating). Sharded ledgers use
+    /// this to aggregate per-partition counters into one query-cost view.
+    pub fn merge(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            blocks_written: self.blocks_written.saturating_add(other.blocks_written),
+            blocks_deserialized: self
+                .blocks_deserialized
+                .saturating_add(other.blocks_deserialized),
+            txs_decoded: self.txs_decoded.saturating_add(other.txs_decoded),
+            block_bytes_read: self.block_bytes_read.saturating_add(other.block_bytes_read),
+            block_bytes_written: self
+                .block_bytes_written
+                .saturating_add(other.block_bytes_written),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            ghfk_calls: self.ghfk_calls.saturating_add(other.ghfk_calls),
+            get_state_calls: self.get_state_calls.saturating_add(other.get_state_calls),
+            range_scan_calls: self.range_scan_calls.saturating_add(other.range_scan_calls),
+            txs_committed: self.txs_committed.saturating_add(other.txs_committed),
+            blocks_committed: self.blocks_committed.saturating_add(other.blocks_committed),
+            events_committed: self.events_committed.saturating_add(other.events_committed),
         }
     }
 }
@@ -143,9 +175,10 @@ impl std::fmt::Display for IoStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "blocks_committed {}  txs_committed {}  blocks_written {}  block_bytes_written {}",
+            "blocks_committed {}  txs_committed {}  events_committed {}  blocks_written {}  block_bytes_written {}",
             self.blocks_committed,
             self.txs_committed,
+            self.events_committed,
             self.blocks_written,
             self.block_bytes_written
         )?;
@@ -186,6 +219,7 @@ mod tests {
         for field in [
             "blocks_committed",
             "txs_committed",
+            "events_committed",
             "blocks_written",
             "block_bytes_written",
             "blocks_deserialized",
@@ -212,6 +246,24 @@ mod tests {
         };
         assert_eq!(a.diff(&b), a.delta(&b));
         assert_eq!(a.diff(&b).ghfk_calls, 4);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let a = IoStatsSnapshot {
+            ghfk_calls: 7,
+            events_committed: 2,
+            ..Default::default()
+        };
+        let b = IoStatsSnapshot {
+            ghfk_calls: 3,
+            blocks_deserialized: 5,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.ghfk_calls, 10);
+        assert_eq!(m.events_committed, 2);
+        assert_eq!(m.blocks_deserialized, 5);
     }
 
     #[test]

@@ -71,6 +71,9 @@ pub struct Ledger {
     /// Commit-event subscribers (see [`Ledger::subscribe`]). Shared with
     /// the pipeline workers, which fire the events on the pipelined path.
     subscribers: Arc<Mutex<Vec<crossbeam::channel::Sender<CommitEvent>>>>,
+    /// Resolved validation-pool width: `0` or `1` means the serial scan
+    /// (see [`crate::config::LedgerConfig::parallel_validate`]).
+    validate_threads: usize,
     /// Worker threads of the pipelined commit path (see
     /// [`crate::config::LedgerConfig::pipeline`]); `None` on the serial
     /// path.
@@ -498,6 +501,16 @@ impl Ledger {
             height: 0,
             last_hash: Digest::ZERO,
         });
+        let validate_threads = if config.parallel_validate {
+            match config.validate_threads {
+                0 => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                n => n,
+            }
+        } else {
+            0
+        };
         let mut ledger = Ledger {
             dir,
             stats,
@@ -513,6 +526,7 @@ impl Ledger {
                 config.block_max_bytes,
             )),
             subscribers: Arc::new(Mutex::new(Vec::new())),
+            validate_threads,
             pipeline: None,
         };
         // Recovery runs serially *before* the pipeline spins up, so the
@@ -630,6 +644,46 @@ impl Ledger {
         }
     }
 
+    /// MVCC-validate one block's transactions, dispatching to the serial
+    /// scan or the dependency-wave pool per the resolved configuration,
+    /// and record the `commit.validate.*` counter family. Both validators
+    /// produce identical codes; see [`crate::validate`].
+    fn validate_block(
+        &self,
+        txs: &[Transaction],
+        block_num: BlockNum,
+        base: impl Fn(&[u8]) -> Result<Option<Version>> + Sync,
+    ) -> Result<crate::validate::ValidationOutcome> {
+        let mut span = self.tel.span("commit.mvcc_validate");
+        let outcome = if self.validate_threads > 1 {
+            crate::validate::validate_parallel(txs, block_num, self.validate_threads, base)?
+        } else {
+            crate::validate::validate_serial(txs, block_num, base)?
+        };
+        span.record("txs", txs.len() as u64);
+        span.record("conflicts", outcome.conflicts);
+        self.tel.count("commit.validate.txs", txs.len() as u64);
+        self.tel
+            .count("commit.validate.conflicts", outcome.conflicts);
+        if self.validate_threads > 1 {
+            span.record("chunks", outcome.chunks);
+            span.record("waves", outcome.waves);
+            self.tel.count("commit.validate.chunks", outcome.chunks);
+            self.tel.count("commit.validate.waves", outcome.waves);
+        }
+        Ok(outcome)
+    }
+
+    /// State writes a block will apply: every write of every valid tx
+    /// (the number of history entries — committed events — it adds).
+    fn count_events(txs: &[Transaction], validation: &[ValidationCode]) -> u64 {
+        txs.iter()
+            .zip(validation)
+            .filter(|(_, c)| **c == ValidationCode::Valid)
+            .map(|(tx, _)| tx.writes.len() as u64)
+            .sum()
+    }
+
     /// The serial commit path — the paper's cost model. Every stage runs
     /// on the caller thread, in order, before the call returns.
     fn commit_batch_serial(&self, txs: Vec<Transaction>) -> Result<BlockNum> {
@@ -638,43 +692,11 @@ impl Ledger {
         let block_num = chain.height;
         // MVCC validation: a read set is valid when every observed version
         // still matches the committed state — including writes made by
-        // earlier transactions in this same block.
-        let mut intra_block: HashMap<Bytes, Option<Version>> = HashMap::new();
-        let mut validation = Vec::with_capacity(txs.len());
-        {
-            let _s = self.tel.span("commit.mvcc_validate");
-            for (i, tx) in txs.iter().enumerate() {
-                let mut ok = true;
-                for r in &tx.reads {
-                    let current = match intra_block.get(&r.key) {
-                        Some(v) => *v,
-                        None => self.state.version(&r.key)?,
-                    };
-                    if current != r.version {
-                        ok = false;
-                        break;
-                    }
-                }
-                let code = if ok {
-                    ValidationCode::Valid
-                } else {
-                    ValidationCode::MvccConflict
-                };
-                if code == ValidationCode::Valid {
-                    for w in &tx.writes {
-                        let ver = Version {
-                            block_num,
-                            tx_num: i as TxNum,
-                        };
-                        intra_block.insert(
-                            w.key.clone(),
-                            if w.value.is_some() { Some(ver) } else { None },
-                        );
-                    }
-                }
-                validation.push(code);
-            }
-        }
+        // earlier valid transactions in this same block.
+        let validation = self
+            .validate_block(&txs, block_num, |key| self.state.version(key))?
+            .codes;
+        let events = Self::count_events(&txs, &validation);
         let tx_count = txs.len() as u64;
         let block = {
             let _s = self.tel.span("commit.assemble");
@@ -702,6 +724,7 @@ impl Ledger {
         commit_span.record("txs", tx_count);
         IoStats::add(&self.stats.txs_committed, tx_count);
         IoStats::incr(&self.stats.blocks_committed);
+        IoStats::add(&self.stats.events_committed, events);
         self.notify_commit(CommitEvent {
             block_num,
             tx_count: tx_count as usize,
@@ -729,52 +752,24 @@ impl Ledger {
         let mut commit_span = self.tel.span("ledger.commit");
         let mut chain = self.chain.lock();
         let block_num = chain.height;
-        let mut intra_block: HashMap<Bytes, Option<Version>> = HashMap::new();
-        let mut validation = Vec::with_capacity(txs.len());
-        {
-            let _s = self.tel.span("commit.mvcc_validate");
+        let validation = {
             let mut overlay = pipe
                 .shared
                 .overlay
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
-            for (i, tx) in txs.iter().enumerate() {
-                let mut ok = true;
-                for r in &tx.reads {
-                    let current = match intra_block.get(&r.key) {
-                        Some(v) => *v,
-                        None => match overlay.get(&r.key) {
-                            Some(entry) => entry.version,
-                            None => self.state.version(&r.key)?,
-                        },
-                    };
-                    if current != r.version {
-                        ok = false;
-                        break;
-                    }
-                }
-                let code = if ok {
-                    ValidationCode::Valid
-                } else {
-                    ValidationCode::MvccConflict
-                };
-                if code == ValidationCode::Valid {
-                    for w in &tx.writes {
-                        let ver = Version {
-                            block_num,
-                            tx_num: i as TxNum,
-                        };
-                        intra_block.insert(
-                            w.key.clone(),
-                            if w.value.is_some() { Some(ver) } else { None },
-                        );
-                    }
-                }
-                validation.push(code);
-            }
+            // Validation reads through the in-flight overlay, so each
+            // transaction sees exactly the state it would serially.
+            let outcome = {
+                let overlay = &*overlay;
+                self.validate_block(&txs, block_num, |key| match overlay.get(key) {
+                    Some(entry) => Ok(entry.version),
+                    None => self.state.version(key),
+                })?
+            };
             // Publish this block's writes to the overlay before releasing
             // the chain lock: the next commit must validate against them.
-            for (key, version) in &intra_block {
+            for (key, version) in &outcome.intra_block {
                 overlay.insert(
                     key.clone(),
                     OverlayEntry {
@@ -783,7 +778,9 @@ impl Ledger {
                     },
                 );
             }
-        }
+            outcome.codes
+        };
+        let events = Self::count_events(&txs, &validation);
         let tx_count = txs.len() as u64;
         let block = {
             let _s = self.tel.span("commit.assemble");
@@ -816,6 +813,7 @@ impl Ledger {
         commit_span.record("txs", tx_count);
         IoStats::add(&self.stats.txs_committed, tx_count);
         IoStats::incr(&self.stats.blocks_committed);
+        IoStats::add(&self.stats.events_committed, events);
         Ok(block_num)
     }
 
@@ -2232,5 +2230,191 @@ mod tests {
         let keys: Vec<&[u8]> = rows.iter().map(|(k, _)| &k[..]).collect();
         assert_eq!(keys, vec![b"s1", b"s2", b"s3"]);
         assert_eq!(ledger.stats().range_scan_calls, 1);
+    }
+
+    /// A conflict-heavy stream: read-modify-write chains over a tiny key
+    /// space with a mix of fresh, stale and absent claimed versions plus
+    /// delete tombstones, so most blocks carry intra-block dependencies.
+    fn contended_txs() -> Vec<Transaction> {
+        let keys = ["a", "b", "c"];
+        let mut txs = Vec::new();
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..60u64 {
+            let read_key = keys[(next() % 3) as usize];
+            let version = match next() % 3 {
+                0 => None,
+                1 => Some(Version {
+                    block_num: next() % 5,
+                    tx_num: (next() % 3) as TxNum,
+                }),
+                // Matches what an earlier same-block writer may produce.
+                _ => Some(Version {
+                    block_num: i / 3,
+                    tx_num: (next() % 3) as TxNum,
+                }),
+            };
+            let write_key = keys[(next() % 3) as usize];
+            txs.push(
+                Transaction::new(
+                    i,
+                    vec![KvRead {
+                        key: Bytes::copy_from_slice(read_key.as_bytes()),
+                        version,
+                    }],
+                    vec![KvWrite {
+                        key: Bytes::copy_from_slice(write_key.as_bytes()),
+                        value: (next() % 4 != 0)
+                            .then(|| Bytes::copy_from_slice(format!("v{i}").as_bytes())),
+                    }],
+                )
+                .unwrap(),
+            );
+        }
+        txs
+    }
+
+    #[test]
+    fn parallel_validation_is_byte_identical_to_serial() {
+        let dir_serial = TempDir::new("pv-eq-serial");
+        let dir_par = TempDir::new("pv-eq-par");
+        let serial = open(&dir_serial);
+        let parallel = Ledger::open(
+            &dir_par.0,
+            LedgerConfig::small_for_tests().with_validate_threads(4),
+        )
+        .unwrap();
+        for ledger in [&serial, &parallel] {
+            for tx in contended_txs() {
+                ledger.submit(tx).unwrap();
+            }
+            ledger.cut_block().unwrap();
+        }
+        assert_eq!(serial.height(), parallel.height());
+        assert_eq!(serial.last_hash(), parallel.last_hash());
+        assert_eq!(
+            blockfile_bytes(&dir_serial),
+            blockfile_bytes(&dir_par),
+            "blockfiles (including validation codes) must be byte-identical"
+        );
+        assert_eq!(
+            serial.get_state_by_range(None, None).unwrap(),
+            parallel.get_state_by_range(None, None).unwrap()
+        );
+        // Both conflict somewhere and validate somewhere, or the workload
+        // wouldn't exercise order sensitivity.
+        let mut valid = 0;
+        let mut conflicts = 0;
+        for num in 0..parallel.height() {
+            for code in &parallel.get_block(num).unwrap().validation {
+                match code {
+                    ValidationCode::Valid => valid += 1,
+                    ValidationCode::MvccConflict => conflicts += 1,
+                }
+            }
+        }
+        assert!(
+            valid > 0 && conflicts > 0,
+            "valid={valid} conflicts={conflicts}"
+        );
+        parallel.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn parallel_validation_composes_with_pipeline_byte_identically() {
+        let dir_serial = TempDir::new("pv-pipe-serial");
+        let dir_par = TempDir::new("pv-pipe-par");
+        let serial = open(&dir_serial);
+        let parallel = Ledger::open(
+            &dir_par.0,
+            LedgerConfig::small_for_tests()
+                .with_pipeline(true)
+                .with_validate_threads(4),
+        )
+        .unwrap();
+        for ledger in [&serial, &parallel] {
+            for tx in contended_txs() {
+                ledger.submit(tx).unwrap();
+            }
+            ledger.cut_block().unwrap();
+            ledger.drain_commits().unwrap();
+        }
+        assert_eq!(serial.last_hash(), parallel.last_hash());
+        assert_eq!(blockfile_bytes(&dir_serial), blockfile_bytes(&dir_par));
+        assert_eq!(
+            serial.get_state_by_range(None, None).unwrap(),
+            parallel.get_state_by_range(None, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation_counters_record_txs_conflicts_chunks_and_waves() {
+        let dir = TempDir::new("pv-counters");
+        let tel = Telemetry::enabled();
+        let ledger = Ledger::open_with_telemetry(
+            &dir.0,
+            LedgerConfig::small_for_tests().with_validate_threads(2),
+            tel,
+        )
+        .unwrap();
+        for tx in contended_txs() {
+            ledger.submit(tx).unwrap();
+        }
+        ledger.cut_block().unwrap();
+        let snap = ledger.telemetry().snapshot();
+        assert_eq!(snap.counter("commit.validate.txs"), 60);
+        assert!(snap.counter("commit.validate.conflicts") > 0);
+        assert!(snap.counter("commit.validate.chunks") > 0);
+        assert!(snap.counter("commit.validate.waves") > 0);
+    }
+
+    #[test]
+    fn validation_pool_panic_surfaces_as_error_and_pipeline_drains() {
+        let dir = TempDir::new("pv-panic");
+        let ledger = Ledger::open(
+            &dir.0,
+            LedgerConfig::small_for_tests()
+                .with_pipeline(true)
+                .with_validate_threads(2),
+        )
+        .unwrap();
+        ledger.submit(put_tx(1, "a", "v")).unwrap();
+        ledger.submit(put_tx(2, "b", "v")).unwrap();
+        crate::validate::PANIC_IN_WORKER.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Third submit fills the batch (size 3) and triggers the commit,
+        // whose validation pool panics: the submit must surface an Error,
+        // not poison the process or wedge the pipeline. The tx carries a
+        // read so the block takes the wave path (an all-blind-write block
+        // would skip the pool on the no-reads fast path).
+        let rmw = Transaction::new(
+            3,
+            vec![KvRead {
+                key: Bytes::from_static(b"a"),
+                version: None,
+            }],
+            vec![KvWrite {
+                key: Bytes::from_static(b"c"),
+                value: Some(Bytes::from_static(b"v")),
+            }],
+        )
+        .unwrap();
+        let err = ledger.submit(rmw).unwrap_err();
+        crate::validate::PANIC_IN_WORKER.store(false, std::sync::atomic::Ordering::SeqCst);
+        assert!(err.to_string().contains("panicked"), "{err}");
+        // The failed batch was rejected before admission: nothing is in
+        // flight, the drain completes, and the pipeline still commits.
+        ledger.drain_commits().unwrap();
+        assert_eq!(ledger.height(), 0);
+        for i in 0..3u64 {
+            ledger.submit(put_tx(10 + i, "d", "v")).unwrap();
+        }
+        ledger.drain_commits().unwrap();
+        assert_eq!(ledger.height(), 1);
+        assert!(ledger.get_state(b"d").unwrap().is_some());
     }
 }

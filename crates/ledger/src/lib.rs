@@ -25,6 +25,12 @@
 //! * **Block cache** ([`cache`]): opt-in sharded clock-LRU cache of
 //!   deserialized blocks (off by default to match Fabric v1.0 and the
 //!   paper's cost model).
+//! * **Parallel validation** ([`validate`]): opt-in dependency-wave MVCC
+//!   validation that is bit-identical to the serial order-sensitive scan
+//!   (off by default; see [`LedgerConfig::parallel_validate`]).
+//! * **Key-range sharding** ([`sharded`]): opt-in [`ShardedLedger`] router
+//!   over N partitions — each a full [`Ledger`] — committing concurrently
+//!   with deterministic global block numbering.
 //!
 //! ## Example
 //!
@@ -64,9 +70,11 @@ pub mod index;
 pub mod iostats;
 pub mod ledger;
 pub mod orderer;
+pub mod sharded;
 pub mod shim;
 pub mod statedb;
 pub mod tx;
+pub mod validate;
 
 pub use block::{Block, BlockHeader, PartialBlock};
 pub use blockfile::{BlockFileManager, BlockLocation};
@@ -78,6 +86,7 @@ pub use hash::{sha256, Digest};
 pub use index::HistoryEntryMeta;
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use ledger::{CommitEvent, HistoricalState, HistoryIterator, Ledger, StateUpdate};
+pub use sharded::{ShardRouter, ShardedLedger};
 pub use shim::TxSimulator;
 pub use statedb::VersionedValue;
 pub use tx::{
