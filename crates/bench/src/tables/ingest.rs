@@ -349,6 +349,9 @@ pub fn run(ctx: &Ctx) -> Result<String> {
     // so one `BENCH_ingest.json` covers the whole write path.
     report.push_str(&crate::tables::commit::run(ctx, &mut samples)?);
 
+    // ── Section 5: index-lag ablation (online M1 daemon) ────────────────
+    report.push_str(&crate::tables::m1lag::run(ctx, &mut samples)?);
+
     ctx.save_result("ingest.csv", &csv.to_csv());
     if ctx.json_out.is_some() {
         ctx.save_bench_file(&bench_file_from_samples("ingest", ctx.machine(), &samples));

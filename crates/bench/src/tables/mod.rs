@@ -3,6 +3,7 @@
 
 pub mod commit;
 pub mod ingest;
+pub mod m1lag;
 pub mod table1;
 pub mod table2;
 pub mod table3;

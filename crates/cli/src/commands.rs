@@ -18,10 +18,11 @@ type CliResult = Result<(), String>;
 
 const USAGE: &str = "usage: tfq <command> ...
   demo    <dir> [ds1|ds2|ds3] [--scale N] [--mode se|me] [--m2-u U] [--shards N]
+          [--index-lag N [--u U | --adaptive EVENTS]]
   info    <dir> [--shards N]
-  verify  <dir>
+  verify  <dir> [--shards N]
   block   <dir> <number>
-  history <dir> <key>
+  history <dir> <key> [--shards N]
   tx      <dir> <txid-hex>
   events  <dir> <key> <t1> <t2> [--engine tqf|m1|m2|auto] [--u U] [--shards N]
   join    <dir> <t1> <t2>       [--engine tqf|m1|m2|auto] [--u U] [--shards N]
@@ -42,11 +43,16 @@ const USAGE: &str = "usage: tfq <command> ...
                                 [--limit N]
   planner-report <log.jsonl>
   index   <dir> --u U [--from T1] [--to T2] [--m1-index-threads N]
+  index-daemon <dir> [--index-lag N] [--u U | --adaptive EVENTS]
+               [--min-u U] [--max-u U] [--shards N]
+          one-shot online M1 maintenance: consume committed blocks from the
+          persisted watermark, append EV-set deltas, persist progress + the
+          per-key adaptive θ map, and exit with the horizon on the tip
   backup  <dir> <dest-dir>
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
   replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]
   serve   <dir> [--addr H:P] [--slow-ms N] [--slow-factor F] [--slow-log PATH]
-                [--shards N]
+                [--shards N] [--index-lag N [--u U | --adaptive EVENTS]]
   bench-diff <baseline.json> <current.json> [--time-tol F] [--counter-tol F]
              [--counter-tol-for PAT=F]...
 read-path flags (any command taking <dir>):
@@ -62,8 +68,16 @@ write-path flags (any command taking <dir>):
                              threads (0 = one per core; default serial,
                              byte-identical either way)
   --shards N                 key-range-sharded ledger with N partitions
-                             (demo/info/events/join/plan/serve; the count
-                             is persisted and checked on reopen)";
+                             (demo/info/events/join/plan/serve/history/
+                             verify/index-daemon; the count is persisted
+                             and checked on reopen)
+  --index-lag N              demo/serve/index-daemon: run the M1 indexer
+                             daemon, cutting an epoch whenever more than N
+                             data blocks are unindexed (default 0)
+  --adaptive EVENTS          daemon θ policy: pick each key's interval
+                             length so a cell holds ~EVENTS events
+                             (bounded by --min-u/--max-u); default is
+                             fixed θ from --u (2000)";
 
 fn led(e: fabric_ledger::Error) -> String {
     e.to_string()
@@ -134,10 +148,21 @@ pub fn dispatch(argv: &[String]) -> CliResult {
     // open the root directory as a plain ledger must reject it instead.
     if args.opt("shards").is_some() {
         let cmd = args.pos_opt(0).unwrap_or("");
-        if !matches!(cmd, "demo" | "info" | "events" | "join" | "plan" | "serve") {
+        if !matches!(
+            cmd,
+            "demo"
+                | "info"
+                | "events"
+                | "join"
+                | "plan"
+                | "serve"
+                | "history"
+                | "verify"
+                | "index-daemon"
+        ) {
             return Err(format!(
                 "--shards is not supported by '{cmd}' \
-                 (demo/info/events/join/plan/serve only)"
+                 (demo/info/events/join/plan/serve/history/verify/index-daemon only)"
             ));
         }
     }
@@ -159,6 +184,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("top") => top(&args),
         Some("planner-report") => planner_report(&args),
         Some("index") => index(&args),
+        Some("index-daemon") => index_daemon(&args),
         Some("backup") => backup(&args),
         Some("export-trace") => export_trace(&args),
         Some("replay") => replay(&args),
@@ -188,26 +214,54 @@ fn demo(args: &Args) -> CliResult {
     } else {
         dataset::generate_scaled(id, scale)
     };
+    // With --index-lag the M1 indexer daemon chases the ingest live: it
+    // is spawned before the first block commits and stopped (with a final
+    // flush) after the last, so the demo ends fully indexed.
+    let daemon_cfg = match args.opt("index-lag") {
+        Some(_) => Some(daemon_config_from(args)?),
+        None => None,
+    };
     let report = match shards_from(args)? {
         Some(n) => {
-            let ledger = open_sharded(args, dir, n)?;
+            let ledger = std::sync::Arc::new(open_sharded(args, dir, n)?);
+            let daemon = match daemon_cfg {
+                Some(cfg) => Some(temporal_core::ShardedDaemon::spawn(&ledger, cfg).map_err(led)?),
+                None => None,
+            };
             let report = match args.opt_u64("m2-u")? {
                 Some(u) => ingest_sharded(&ledger, &workload.events, mode, &M2Encoder { u })
                     .map_err(led)?,
                 None => ingest_sharded(&ledger, &workload.events, mode, &IdentityEncoder)
                     .map_err(led)?,
             };
+            if let Some(daemon) = daemon {
+                for (i, r) in daemon.stop().map_err(led)?.iter().enumerate() {
+                    print_daemon_report(&format!("shard {i:>2} daemon: "), r);
+                }
+            }
             println!("shard heights: {:?}", ledger.heights());
             report
         }
         None => {
-            let ledger = open_with(args, dir)?;
-            match args.opt_u64("m2-u")? {
+            let ledger = std::sync::Arc::new(open_with(args, dir)?);
+            let daemon = match daemon_cfg {
+                Some(cfg) => Some(
+                    temporal_core::IndexerDaemon::new(ledger.clone(), cfg)
+                        .map_err(led)?
+                        .spawn(),
+                ),
+                None => None,
+            };
+            let report = match args.opt_u64("m2-u")? {
                 Some(u) => {
                     ingest(&ledger, &workload.events, mode, &M2Encoder { u }).map_err(led)?
                 }
                 None => ingest(&ledger, &workload.events, mode, &IdentityEncoder).map_err(led)?,
+            };
+            if let Some(daemon) = daemon {
+                print_daemon_report("daemon: ", &daemon.stop().map_err(led)?);
             }
+            report
         }
     };
     println!(
@@ -226,6 +280,11 @@ fn info(args: &Args) -> CliResult {
         println!("height:      {} (global)", ledger.height());
         for (i, h) in ledger.heights().iter().enumerate() {
             println!("  shard {i:>2}:  {h} block(s)");
+        }
+        for i in 0..ledger.shard_count() {
+            if let Some(f) = temporal_core::index_freshness(ledger.shard(i)).map_err(led)? {
+                println!("  shard {i:>2} M1: {}", f.render());
+            }
         }
         println!("I/O since open (all shards):");
         for line in stats.to_string().lines() {
@@ -252,6 +311,9 @@ fn info(args: &Args) -> CliResult {
     } else {
         println!("M1 indexes:  none");
     }
+    if let Some(f) = temporal_core::index_freshness(&ledger).map_err(led)? {
+        println!("M1 horizon:  {}", f.render());
+    }
     println!("I/O since open:");
     for line in stats.to_string().lines() {
         println!("  {line}");
@@ -260,8 +322,23 @@ fn info(args: &Args) -> CliResult {
 }
 
 fn verify(args: &Args) -> CliResult {
-    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let started = std::time::Instant::now();
+    if let Some(n) = shards_from(args)? {
+        let ledger = open_sharded(args, args.pos(1, "dir")?, n)?;
+        let tips = ledger.verify_chain().map_err(|e| format!("FAILED: {e}"))?;
+        println!(
+            "ok: {} blocks across {} shard(s), every hash chain link, data hash \
+             and tx id verified in {:?}",
+            ledger.height(),
+            ledger.shard_count(),
+            started.elapsed()
+        );
+        for (i, tip) in tips.iter().enumerate() {
+            println!("shard {i:>2} tip: {tip}");
+        }
+        return Ok(());
+    }
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let tip = ledger.verify_chain().map_err(|e| format!("FAILED: {e}"))?;
     println!(
         "ok: {} blocks, every hash chain link, data hash and tx id verified in {:?}",
@@ -305,9 +382,21 @@ fn block(args: &Args) -> CliResult {
 }
 
 fn history(args: &Args) -> CliResult {
-    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let key = args.pos(2, "key")?;
-    let mut iter = ledger.get_history_for_key(key.as_bytes()).map_err(led)?;
+    // A key's entire history lives on its owning shard, so the sharded
+    // route is a plain redirect — the listing below is identical.
+    let sharded;
+    let single;
+    let mut iter = match shards_from(args)? {
+        Some(n) => {
+            sharded = open_sharded(args, args.pos(1, "dir")?, n)?;
+            sharded.get_history_for_key(key.as_bytes()).map_err(led)?
+        }
+        None => {
+            single = open_with(args, args.pos(1, "dir")?)?;
+            single.get_history_for_key(key.as_bytes()).map_err(led)?
+        }
+    };
     let mut n = 0;
     while let Some(state) = iter.next().map_err(led)? {
         n += 1;
@@ -566,21 +655,31 @@ fn plan(args: &Args) -> CliResult {
     let key = EntityId::from_key(args.pos(2, "key")?.as_bytes())
         .ok_or_else(|| "key must look like S00001 / C00001".to_string())?;
     let tau = parse_tau(args, 3)?;
-    let choice = match shards_from(args)? {
+    let (choice, freshness) = match shards_from(args)? {
         Some(n) => {
             let ledger = open_sharded(args, args.pos(1, "dir")?, n)?;
-            AutoEngine::default()
-                .choose_sharded(&ledger, key, tau)
-                .map_err(led)?
+            let shard = ledger.shard_for_key(&key.key());
+            (
+                AutoEngine::default()
+                    .choose_sharded(&ledger, key, tau)
+                    .map_err(led)?,
+                temporal_core::index_freshness(shard).map_err(led)?,
+            )
         }
         None => {
             let ledger = open_with(args, args.pos(1, "dir")?)?;
-            AutoEngine::default()
-                .choose(&ledger, key, tau)
-                .map_err(led)?
+            (
+                AutoEngine::default()
+                    .choose(&ledger, key, tau)
+                    .map_err(led)?,
+                temporal_core::index_freshness(&ledger).map_err(led)?,
+            )
         }
     };
     print!("{}", choice.render());
+    if let Some(f) = freshness {
+        println!("{}", f.render());
+    }
     Ok(())
 }
 
@@ -937,6 +1036,73 @@ fn trace_query(
         tel.disable();
     }
     Ok((summary, tree))
+}
+
+/// The indexer-daemon configuration shared by `index-daemon`, `demo
+/// --index-lag` and `serve --index-lag`: `--index-lag N` bounds how many
+/// data blocks may pile up unindexed; θ comes from `--adaptive EVENTS`
+/// (per-key density-tuned, clamped to `--min-u`/`--max-u`) or `--u U`
+/// (the paper's global fixed θ, default 2000).
+pub(crate) fn daemon_config_from(args: &Args) -> Result<temporal_core::DaemonConfig, String> {
+    let lag_blocks = args.opt_u64("index-lag")?.unwrap_or(0);
+    let policy = match args.opt_u64("adaptive")? {
+        Some(0) => return Err("--adaptive must be at least 1 event per cell".to_string()),
+        Some(target_events) => {
+            if args.opt("u").is_some() {
+                return Err("--adaptive and --u are mutually exclusive".to_string());
+            }
+            temporal_core::ThetaPolicy::Adaptive {
+                target_events,
+                min_u: args.opt_u64("min-u")?.unwrap_or(100),
+                max_u: args.opt_u64("max-u")?.unwrap_or(100_000),
+            }
+        }
+        None => temporal_core::ThetaPolicy::Fixed {
+            u: args.opt_u64("u")?.unwrap_or(2000),
+        },
+    };
+    Ok(temporal_core::DaemonConfig { lag_blocks, policy })
+}
+
+fn print_daemon_report(prefix: &str, r: &temporal_core::DaemonReport) {
+    println!(
+        "{prefix}consumed {} block(s) ({} event(s), {} late, {} foreign), \
+         cut {} epoch(s) / {} index pair(s); horizon t={}, watermark block {}, θ-generation {}",
+        r.blocks_consumed,
+        r.events_buffered,
+        r.late_events,
+        r.foreign_writes,
+        r.epochs,
+        r.index_pairs,
+        r.indexed_to,
+        r.horizon_block,
+        r.generation
+    );
+}
+
+fn index_daemon(args: &Args) -> CliResult {
+    let dir = args.pos(1, "dir")?;
+    let cfg = daemon_config_from(args)?;
+    match shards_from(args)? {
+        Some(n) => {
+            let ledger = std::sync::Arc::new(open_sharded(args, dir, n)?);
+            for i in 0..ledger.shard_count() {
+                let mut daemon =
+                    temporal_core::IndexerDaemon::for_shard(ledger.clone(), i, cfg).map_err(led)?;
+                daemon.catch_up().map_err(led)?;
+                daemon.flush().map_err(led)?;
+                print_daemon_report(&format!("shard {i:>2}: "), &daemon.report());
+            }
+        }
+        None => {
+            let ledger = std::sync::Arc::new(open_with(args, dir)?);
+            let mut daemon = temporal_core::IndexerDaemon::new(ledger, cfg).map_err(led)?;
+            daemon.catch_up().map_err(led)?;
+            daemon.flush().map_err(led)?;
+            print_daemon_report("", &daemon.report());
+        }
+    }
+    Ok(())
 }
 
 fn index(args: &Args) -> CliResult {
@@ -1327,14 +1493,67 @@ mod tests {
         run(&["events", dir.s(), "S00001", "0", "5000", "--shards", "2"]).unwrap();
         run(&["join", dir.s(), "0", "5000", "--shards", "2"]).unwrap();
         run(&["plan", dir.s(), "S00001", "0", "5000", "--shards", "2"]).unwrap();
+        // Every dir-taking read command accepts the sharded layout.
+        run(&["history", dir.s(), "S00001", "--shards", "2"]).unwrap();
+        run(&["verify", dir.s(), "--shards", "2"]).unwrap();
         // Reopening with a different partition count is rejected.
         assert!(run(&["info", dir.s(), "--shards", "3"]).is_err());
         assert!(run(&["demo", dir.s(), "ds3", "--shards", "0"]).is_err());
         // Commands that would misread the sharded layout reject the flag.
-        let err = run(&["history", dir.s(), "S00001", "--shards", "2"]).unwrap_err();
+        let err = run(&["backup", dir.s(), "/tmp/x", "--shards", "2"]).unwrap_err();
         assert!(err.contains("not supported"), "{err}");
-        assert!(run(&["verify", dir.s(), "--shards", "2"]).is_err());
-        assert!(run(&["backup", dir.s(), "/tmp/x", "--shards", "2"]).is_err());
+    }
+
+    #[test]
+    fn index_daemon_through_dispatch() {
+        let dir = TempDir::new("idxd");
+        run(&["demo", dir.s(), "ds3", "--scale", "300"]).unwrap();
+        // One-shot catch-up from block 0, then queries ride the index.
+        run(&["index-daemon", dir.s(), "--index-lag", "4", "--u", "500"]).unwrap();
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "auto"]).unwrap();
+        run(&["info", dir.s()]).unwrap();
+        run(&["plan", dir.s(), "S00000", "0", "5000"]).unwrap();
+        // A second invocation resumes from the watermark (no-op here).
+        run(&["index-daemon", dir.s(), "--u", "500"]).unwrap();
+        // Policy mismatch against the persisted index is rejected.
+        assert!(run(&["index-daemon", dir.s(), "--u", "123"]).is_err());
+        assert!(run(&["index-daemon", dir.s(), "--adaptive", "8"]).is_err());
+        // Flag validation.
+        assert!(run(&["index-daemon", dir.s(), "--adaptive", "0"]).is_err());
+        assert!(run(&["index-daemon", dir.s(), "--adaptive", "8", "--u", "9"]).is_err());
+    }
+
+    #[test]
+    fn index_daemon_sharded_and_adaptive_through_dispatch() {
+        let dir = TempDir::new("idxd-sh");
+        run(&["demo", dir.s(), "ds3", "--scale", "4", "--shards", "2"]).unwrap();
+        run(&["index-daemon", dir.s(), "--shards", "2", "--adaptive", "8"]).unwrap();
+        run(&["info", dir.s(), "--shards", "2"]).unwrap();
+        run(&["events", dir.s(), "S00001", "0", "5000", "--shards", "2"]).unwrap();
+        run(&["plan", dir.s(), "S00001", "0", "5000", "--shards", "2"]).unwrap();
+    }
+
+    #[test]
+    fn demo_with_live_daemon_indexes_during_ingest() {
+        let dir = TempDir::new("demo-daemon");
+        run(&[
+            "demo",
+            dir.s(),
+            "ds3",
+            "--scale",
+            "300",
+            "--mode",
+            "se",
+            "--index-lag",
+            "2",
+            "--u",
+            "500",
+        ])
+        .unwrap();
+        // The daemon's index answers M1 queries with no batch build step.
+        run(&["events", dir.s(), "S00000", "0", "5000", "--engine", "m1"]).unwrap();
+        run(&["verify", dir.s()]).unwrap();
     }
 
     #[test]

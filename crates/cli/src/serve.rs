@@ -74,14 +74,47 @@ pub fn serve(args: &Args) -> CliResult {
         tel.install_slow_log(config, sink);
     }
 
+    // With --index-lag an M1 indexer daemon chases the chain tip for the
+    // server's lifetime (one per shard on a sharded ledger), stopped with
+    // a final flush when the server exits.
+    enum Daemon {
+        None,
+        Single(temporal_core::DaemonHandle),
+        Sharded(temporal_core::ShardedDaemon),
+    }
+    let daemon = if args.opt("index-lag").is_some() {
+        let cfg = crate::commands::daemon_config_from(args)?;
+        match &opened {
+            Opened::Single(l) => Daemon::Single(
+                temporal_core::IndexerDaemon::new(l.clone(), cfg)
+                    .map_err(|e| e.to_string())?
+                    .spawn(),
+            ),
+            Opened::Sharded(l) => Daemon::Sharded(
+                temporal_core::ShardedDaemon::spawn(l, cfg).map_err(|e| e.to_string())?,
+            ),
+        }
+    } else {
+        Daemon::None
+    };
+
+    // Every scrape refreshes the occupancy gauges and the M1 freshness
+    // gauges (`m1.indexed_horizon` / `m1.lag_blocks` /
+    // `m1.theta_generations`) from the on-chain watermark records.
     let collect: Box<dyn Fn(&Telemetry) + Send + Sync> = match &opened {
         Opened::Single(l) => {
             let l = l.clone();
-            Box::new(move |_tel| l.publish_gauges())
+            Box::new(move |_tel| {
+                l.publish_gauges();
+                let _ = temporal_core::publish_m1_gauges(&l);
+            })
         }
         Opened::Sharded(l) => {
             let l = l.clone();
-            Box::new(move |_tel| l.publish_gauges())
+            Box::new(move |_tel| {
+                l.publish_gauges();
+                let _ = temporal_core::publish_m1_gauges_sharded(&l);
+            })
         }
     };
     let mut server = MetricsServer::bind(addr, tel, Some(collect))
@@ -96,7 +129,17 @@ pub fn serve(args: &Args) -> CliResult {
             .map_err(|e| format!("cannot write addr file {path}: {e}"))?;
     }
     println!("serving http://{bound}/metrics  /healthz  /flight  (ledger: {dir})");
-    server.run().map_err(|e| e.to_string())
+    let outcome = server.run().map_err(|e| e.to_string());
+    match daemon {
+        Daemon::None => {}
+        Daemon::Single(handle) => {
+            handle.stop().map_err(|e| e.to_string())?;
+        }
+        Daemon::Sharded(daemons) => {
+            daemons.stop().map_err(|e| e.to_string())?;
+        }
+    }
+    outcome
 }
 
 /// `tfq bench-diff <baseline.json> <current.json> [--time-tol F]
@@ -325,6 +368,68 @@ mod tests {
             "1",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn serve_with_daemon_exports_m1_freshness_gauges() {
+        let dir = TempDir::new("serve-m1");
+        let ledger_dir = dir.path("ledger");
+        run(&[
+            "demo",
+            ledger_dir.to_str().unwrap(),
+            "ds3",
+            "--scale",
+            "300",
+        ])
+        .unwrap();
+        // Persist a watermark first so the very first scrape already sees
+        // on-chain freshness records (the serve-time daemon resumes from
+        // it and has nothing left to do — deterministic for the test).
+        run(&["index-daemon", ledger_dir.to_str().unwrap(), "--u", "500"]).unwrap();
+        let addr_file = dir.path("addr");
+        let argv: Vec<String> = [
+            "serve",
+            ledger_dir.to_str().unwrap(),
+            "--index-lag",
+            "4",
+            "--u",
+            "500",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--requests",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || dispatch(&argv));
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                    if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                        break addr;
+                    }
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "addr file never appeared"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let (code, metrics) = fabric_telemetry::http_get(addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        server.join().unwrap().unwrap();
+        for g in [
+            "tf_m1_indexed_horizon",
+            "tf_m1_lag_blocks",
+            "tf_m1_theta_generations",
+        ] {
+            assert!(metrics.contains(g), "missing {g}: {metrics}");
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod analyze;
 pub mod base_api;
 pub mod calibrate;
 pub mod cursor;
+pub mod daemon;
 pub mod engine;
 pub mod evset;
 pub mod explain;
@@ -74,6 +75,10 @@ pub use analyze::{explain_analyze, AnalyzedPlan, StepMeasurement};
 pub use base_api::M2BaseApi;
 pub use calibrate::{CalibratedCursor, CalibrationGroup, PlannerLog, PlannerRecord};
 pub use cursor::{drain, EventCursor, VecCursor};
+pub use daemon::{
+    index_freshness, publish_m1_gauges, publish_m1_gauges_sharded, DaemonConfig, DaemonHandle,
+    DaemonMeta, DaemonReport, IndexFreshness, IndexerDaemon, ShardedDaemon, ThetaPolicy,
+};
 pub use engine::{list_keys_sharded, TemporalEngine};
 pub use evset::{EvSet, TemporalEvent};
 pub use explain::{ExplainQuery, PlanStep, QueryPlan};

@@ -193,24 +193,7 @@ impl<'s> M1Indexer<'s> {
         keys: &[EntityId],
         epoch: Interval,
     ) -> Result<M1BuildReport> {
-        let meta = read_meta(ledger)?.unwrap_or(M1Meta {
-            u: self.fixed_u.unwrap_or(0),
-            epochs: Vec::new(),
-        });
-        if meta.indexed_to() != epoch.start {
-            return Err(Error::InvalidArgument(format!(
-                "epoch {epoch} does not extend indexed range (indexed to {})",
-                meta.indexed_to()
-            )));
-        }
-        if let Some(u) = self.fixed_u {
-            if meta.u != u && !meta.epochs.is_empty() {
-                return Err(Error::InvalidArgument(format!(
-                    "interval length changed across epochs ({} -> {u})",
-                    meta.u
-                )));
-            }
-        }
+        let meta = validated_meta(ledger, epoch, self.fixed_u)?;
         let mut build_span = ledger
             .telemetry()
             .span("m1.build")
@@ -223,33 +206,11 @@ impl<'s> M1Indexer<'s> {
             let prepared = self.prepare_keys(ledger, keys, epoch)?;
             // Phase 2 — submit the index transactions serially, in key
             // order: the ledger bytes match a 1-thread build exactly.
-            for (&key, pairs) in keys.iter().zip(&prepared) {
-                let mut created: Vec<Interval> = Vec::new();
-                for (theta, encoded_set) in pairs {
-                    let composite = theta.composite_key(&key.key());
-                    let mut sim = TxSimulator::new(ledger);
-                    sim.put_state(composite.clone(), encoded_set.clone());
-                    ledger.submit(sim.into_transaction(epoch.end)?)?;
-                    let mut sim = TxSimulator::new(ledger);
-                    sim.del_state(composite);
-                    ledger.submit(sim.into_transaction(epoch.end)?)?;
-                    txs += 2;
-                    indexes += 1;
-                    created.push(*theta);
-                }
-                if self.fixed_u.is_none() && !created.is_empty() {
-                    txs += self.append_catalog(ledger, key, &created)?;
-                }
-            }
-            // Commit the new epoch to the on-chain metadata.
-            let mut new_meta = meta.clone();
-            new_meta.u = self.fixed_u.unwrap_or(0);
-            new_meta.epochs.push(epoch);
-            let mut sim = TxSimulator::new(ledger);
-            sim.put_state(Bytes::from_static(M1_META_KEY), new_meta.encode());
-            ledger.submit(sim.into_transaction(epoch.end)?)?;
-            txs += 1;
-            ledger.cut_block()?;
+            let items: Vec<(EntityId, Vec<(Interval, Bytes)>)> =
+                keys.iter().copied().zip(prepared).collect();
+            let (i, t) = submit_epoch(ledger, &items, epoch, self.fixed_u, &[], &meta)?;
+            indexes = i;
+            txs = t;
             Ok(())
         })?;
         build_span.record("indexes", indexes as u64);
@@ -279,22 +240,7 @@ impl<'s> M1Indexer<'s> {
     ) -> Result<Vec<Vec<(Interval, Bytes)>>> {
         let prepare_one = |key: EntityId| -> Result<Vec<(Interval, Bytes)>> {
             let events = self.collect_epoch_events(ledger, key, epoch)?;
-            let times: Vec<u64> = events.iter().map(|e| e.time).collect();
-            let mut out = Vec::new();
-            for theta in self.strategy.partition(epoch, &times) {
-                let set: Vec<TemporalEvent> = events
-                    .iter()
-                    .filter(|e| theta.contains(e.time))
-                    .cloned()
-                    .collect();
-                // "These two pairs are ingested only if the set EV(k,θ)
-                // is not empty."
-                if set.is_empty() {
-                    continue;
-                }
-                out.push((theta, EvSet::new(set).encode()));
-            }
-            Ok(out)
+            Ok(pairs_from_events(self.strategy, epoch, &events))
         };
         let workers = self.threads.clamp(1, keys.len().max(1));
         if workers == 1 || keys.len() <= 1 {
@@ -362,19 +308,172 @@ impl<'s> M1Indexer<'s> {
         }
         Ok(out)
     }
+}
 
-    fn append_catalog(&self, ledger: &Ledger, key: EntityId, created: &[Interval]) -> Result<u64> {
-        let ckey = catalog_key(key);
-        let mut intervals = match ledger.get_state(&ckey)? {
-            Some(vv) => decode_catalog(&vv.value)?,
-            None => Vec::new(),
-        };
-        intervals.extend_from_slice(created);
-        let mut sim = TxSimulator::new(ledger);
-        sim.put_state(ckey, encode_catalog(&intervals));
-        ledger.submit(sim.into_transaction(0)?)?;
-        Ok(1)
+/// Read the current metadata and check that `epoch` legally extends it
+/// under the given interval-length regime.
+fn validated_meta(ledger: &Ledger, epoch: Interval, fixed_u: Option<u64>) -> Result<M1Meta> {
+    let meta = read_meta(ledger)?.unwrap_or(M1Meta {
+        u: fixed_u.unwrap_or(0),
+        epochs: Vec::new(),
+    });
+    if meta.indexed_to() != epoch.start {
+        return Err(Error::InvalidArgument(format!(
+            "epoch {epoch} does not extend indexed range (indexed to {})",
+            meta.indexed_to()
+        )));
     }
+    if let Some(u) = fixed_u {
+        if meta.u != u && !meta.epochs.is_empty() {
+            return Err(Error::InvalidArgument(format!(
+                "interval length changed across epochs ({} -> {u})",
+                meta.u
+            )));
+        }
+    } else if meta.u != 0 && !meta.epochs.is_empty() {
+        return Err(Error::InvalidArgument(format!(
+            "catalog epochs cannot extend a fixed-u index (u = {})",
+            meta.u
+        )));
+    }
+    Ok(meta)
+}
+
+/// Build the non-empty `(θ, encoded EV-set)` pairs for one key from its
+/// epoch events (ascending by time), partitioning `epoch` with `strategy`.
+/// Shared between the batch build (events from a GHFK scan) and the
+/// incremental daemon (events collected off commit notifications), so both
+/// produce byte-identical EV sets for the same epoch.
+pub fn pairs_from_events(
+    strategy: &dyn PartitionStrategy,
+    epoch: Interval,
+    events: &[TemporalEvent],
+) -> Vec<(Interval, Bytes)> {
+    let times: Vec<u64> = events.iter().map(|e| e.time).collect();
+    let mut out = Vec::new();
+    for theta in strategy.partition(epoch, &times) {
+        let set: Vec<TemporalEvent> = events
+            .iter()
+            .filter(|e| theta.contains(e.time))
+            .cloned()
+            .collect();
+        // "These two pairs are ingested only if the set EV(k,θ)
+        // is not empty."
+        if set.is_empty() {
+            continue;
+        }
+        out.push((theta, EvSet::new(set).encode()));
+    }
+    out
+}
+
+/// Append one already-prepared epoch to the index — the incremental path
+/// used by [`crate::daemon::IndexerDaemon`].
+///
+/// `items` holds, per touched key, the `(θ, encoded EV-set)` pairs built
+/// from events the caller collected as blocks committed — no GHFK re-scan
+/// happens here, which removes the batch indexer's growing rebuild cost
+/// (paper Table III). `extra_state` puts are committed in the same epoch
+/// batch (the daemon persists its progress watermark there, atomically
+/// with the epoch metadata). Transaction shapes and ordering match
+/// [`M1Indexer::run_epoch`] exactly.
+pub fn run_epoch_prepared(
+    ledger: &Ledger,
+    items: &[(EntityId, Vec<(Interval, Bytes)>)],
+    epoch: Interval,
+    fixed_u: Option<u64>,
+    extra_state: &[(Bytes, Bytes)],
+) -> Result<M1BuildReport> {
+    let meta = validated_meta(ledger, epoch, fixed_u)?;
+    let mut span = ledger
+        .telemetry()
+        .span("m1.append")
+        .with_label(epoch.to_string());
+    let mut indexes = 0usize;
+    let mut txs = 0u64;
+    let ((), stats) = measure(ledger, || -> Result<()> {
+        let (i, t) = submit_epoch(ledger, items, epoch, fixed_u, extra_state, &meta)?;
+        indexes = i;
+        txs = t;
+        Ok(())
+    })?;
+    span.record("indexes", indexes as u64);
+    span.record("txs", txs);
+    Ok(M1BuildReport {
+        epoch,
+        keys: items.len(),
+        indexes,
+        txs,
+        stats,
+    })
+}
+
+/// Phase 2 of an epoch: submit the index transactions serially in `items`
+/// order — per pair a put of the composite key followed by its delete —
+/// then per-key catalog appends (catalog regime), the epoch metadata, any
+/// extra state puts, and a block cut.
+fn submit_epoch(
+    ledger: &Ledger,
+    items: &[(EntityId, Vec<(Interval, Bytes)>)],
+    epoch: Interval,
+    fixed_u: Option<u64>,
+    extra_state: &[(Bytes, Bytes)],
+    meta: &M1Meta,
+) -> Result<(usize, u64)> {
+    let mut indexes = 0usize;
+    let mut txs = 0u64;
+    for (key, pairs) in items {
+        let mut created: Vec<Interval> = Vec::new();
+        for (theta, encoded_set) in pairs {
+            let composite = theta.composite_key(&key.key());
+            let mut sim = TxSimulator::new(ledger);
+            sim.put_state(composite.clone(), encoded_set.clone());
+            ledger.submit(sim.into_transaction(epoch.end)?)?;
+            let mut sim = TxSimulator::new(ledger);
+            sim.del_state(composite);
+            ledger.submit(sim.into_transaction(epoch.end)?)?;
+            txs += 2;
+            indexes += 1;
+            created.push(*theta);
+        }
+        if fixed_u.is_none() && !created.is_empty() {
+            txs += append_catalog(ledger, *key, &created)?;
+        }
+    }
+    // Commit the new epoch to the on-chain metadata.
+    let mut new_meta = meta.clone();
+    new_meta.u = fixed_u.unwrap_or(0);
+    new_meta.epochs.push(epoch);
+    let mut sim = TxSimulator::new(ledger);
+    sim.put_state(Bytes::from_static(M1_META_KEY), new_meta.encode());
+    ledger.submit(sim.into_transaction(epoch.end)?)?;
+    txs += 1;
+    for (k, v) in extra_state {
+        let mut sim = TxSimulator::new(ledger);
+        sim.put_state(k.clone(), v.clone());
+        ledger.submit(sim.into_transaction(epoch.end)?)?;
+        txs += 1;
+    }
+    ledger.cut_block()?;
+    Ok((indexes, txs))
+}
+
+fn append_catalog(ledger: &Ledger, key: EntityId, created: &[Interval]) -> Result<u64> {
+    let ckey = catalog_key(key);
+    let mut intervals = match ledger.get_state(&ckey)? {
+        Some(vv) => decode_catalog(&vv.value)?,
+        None => Vec::new(),
+    };
+    // Idempotent under epoch replay (crash between a partially auto-cut
+    // block and the metadata commit): only intervals starting at or past
+    // the recorded tail are appended, so a re-run of the same epoch never
+    // duplicates catalog entries.
+    let tail = intervals.last().map_or(0, |i| i.end);
+    intervals.extend(created.iter().copied().filter(|i| i.start >= tail));
+    let mut sim = TxSimulator::new(ledger);
+    sim.put_state(ckey, encode_catalog(&intervals));
+    ledger.submit(sim.into_transaction(0)?)?;
+    Ok(1)
 }
 
 /// A periodic-maintenance policy: keep M1 indexes within `period` ticks of

@@ -28,8 +28,12 @@
 //! otherwise TQF is the only option. Decisions are exported as
 //! `planner.pick.*` telemetry counters and rendered by `tfq plan`.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use fabric_ledger::{HistoryEntryMeta, Ledger, Result};
 use fabric_workload::{EntityId, Event};
+use parking_lot::Mutex;
 
 use crate::cursor::{drain, EventCursor, M2Cursor, TqfCursor};
 use crate::engine::TemporalEngine;
@@ -165,23 +169,20 @@ fn distinct_blocks(profile: &[HistoryEntryMeta], entries: usize) -> u64 {
     blocks
 }
 
-/// Exact blocks for reading the M1 EV-sets of `thetas`: the indexer
-/// writes `(k,θ)` pairs only for non-empty `EV(k,θ)`, and the query path
-/// lazily reads one block per existing pair (first historical state), so
-/// the cost is precisely the number of occupied intervals. Occupancy is
-/// established by probing each composite key's history *profile* — an
-/// index range read; no block is deserialized.
-fn occupied_theta_blocks(ledger: &Ledger, key: EntityId, thetas: &[Interval]) -> Result<u64> {
-    let mut occupied = 0u64;
-    for theta in thetas {
-        if !ledger
-            .history_profile(&theta.composite_key(&key.key()))?
-            .is_empty()
-        {
-            occupied += 1;
-        }
-    }
-    Ok(occupied)
+/// Index state the occupancy cache is valid under: `(interval regime,
+/// indexed horizon, epoch count)`. Any indexer progress — a batch epoch
+/// or the daemon's watermark bump — changes at least one component.
+type ProbeStamp = (u64, u64, u64);
+
+/// Cached `(key, θ)` occupancy probes for one shard. A θ cell's
+/// occupancy is immutable once its epoch commits (the indexer only ever
+/// appends new cells past the horizon), so entries never go stale within
+/// a stamp; the stamp mismatch on indexer progress clears the map, which
+/// also bounds its memory to one index generation's working set.
+#[derive(Debug, Default)]
+struct ShardProbes {
+    stamp: ProbeStamp,
+    map: HashMap<bytes::Bytes, bool>,
 }
 
 /// The cost-based planning engine, exposed on the CLI as `--engine auto`.
@@ -201,12 +202,62 @@ fn occupied_theta_blocks(ledger: &Ledger, key: EntityId, thetas: &[Interval]) ->
 pub struct AutoEngine {
     /// Optional calibration sink shared across queries.
     pub log: Option<std::sync::Arc<crate::calibrate::PlannerLog>>,
+    /// Occupancy-probe cache, keyed by shard index (0 on a plain
+    /// ledger). Shared across clones so every worker thread planning on
+    /// the same engine reuses — and invalidates — one cache.
+    probes: Arc<Mutex<HashMap<u64, ShardProbes>>>,
 }
 
 impl AutoEngine {
     /// An engine that writes every decision + measured outcome to `log`.
     pub fn with_log(log: std::sync::Arc<crate::calibrate::PlannerLog>) -> AutoEngine {
-        AutoEngine { log: Some(log) }
+        AutoEngine {
+            log: Some(log),
+            ..AutoEngine::default()
+        }
+    }
+
+    /// Exact blocks for reading the M1 EV-sets of `thetas`: the indexer
+    /// writes `(k,θ)` pairs only for non-empty `EV(k,θ)`, and the query
+    /// path lazily reads one block per existing pair (first historical
+    /// state), so the cost is precisely the number of occupied
+    /// intervals. Occupancy is established by probing each composite
+    /// key's history *profile* — an index range read; no block is
+    /// deserialized — and the verdict is cached across queries until
+    /// `stamp` moves (`planner.probe.hit` / `planner.probe.miss`).
+    fn occupied_theta_blocks(
+        &self,
+        ledger: &Ledger,
+        key: EntityId,
+        thetas: &[Interval],
+        shard: u64,
+        stamp: ProbeStamp,
+    ) -> Result<u64> {
+        let tel = ledger.telemetry();
+        let mut probes = self.probes.lock();
+        let entry = probes.entry(shard).or_default();
+        if entry.stamp != stamp {
+            entry.map.clear();
+            entry.stamp = stamp;
+        }
+        let mut occupied = 0u64;
+        for theta in thetas {
+            let composite = theta.composite_key(&key.key());
+            let hit = match entry.map.get(&composite) {
+                Some(&cached) => {
+                    tel.count("planner.probe.hit", 1);
+                    cached
+                }
+                None => {
+                    tel.count("planner.probe.miss", 1);
+                    let occ = !ledger.history_profile(&composite)?.is_empty();
+                    entry.map.insert(composite, occ);
+                    occ
+                }
+            };
+            occupied += u64::from(hit);
+        }
+        Ok(occupied)
     }
 }
 
@@ -224,19 +275,33 @@ impl AutoEngine {
         key: EntityId,
         tau: Interval,
     ) -> Result<PlanChoice> {
-        self.choose(ledger.shard_for_key(&key.key()), key, tau)
+        let shard = ledger.shard_index_for_key(&key.key()) as u64;
+        self.choose_in(ledger.shard(shard as usize), key, tau, shard)
     }
 
     /// Plan `(key, tau)` without executing: derive block bounds for the
     /// candidate paths and pick one. Cheap — metadata and index reads
     /// only, no block is deserialized.
     pub fn choose(&self, ledger: &Ledger, key: EntityId, tau: Interval) -> Result<PlanChoice> {
+        self.choose_in(ledger, key, tau, 0)
+    }
+
+    /// [`AutoEngine::choose`] with an explicit shard index for the probe
+    /// cache — the shard's cache slot must match the ledger handed in.
+    fn choose_in(
+        &self,
+        ledger: &Ledger,
+        key: EntityId,
+        tau: Interval,
+        shard: u64,
+    ) -> Result<PlanChoice> {
         let meta = m1::read_meta(ledger)?;
         let profile = ledger.history_profile(&key.key())?;
         let (path, reason, tqf_blocks, m1_blocks) = if let Some(meta) = &meta {
             let tqf_blocks = scan_block_bounds(&profile, tau.end);
             let thetas = m1::overlapping_thetas(ledger, key, tau, meta)?;
-            let occupied = occupied_theta_blocks(ledger, key, &thetas)?;
+            let stamp = (meta.u, meta.indexed_to(), meta.epochs.len() as u64);
+            let occupied = self.occupied_theta_blocks(ledger, key, &thetas, shard, stamp)?;
             let (mut m1_lo, mut m1_hi) = (occupied, occupied);
             let residual = m1::residual_window(tau, meta.indexed_to());
             if let Some(window) = residual {
@@ -437,5 +502,65 @@ mod tests {
     #[test]
     fn empty_profile_costs_nothing() {
         assert_eq!(scan_block_bounds(&[], 100), (0, 0));
+    }
+
+    #[test]
+    fn occupancy_probes_cached_until_index_progress() {
+        use crate::m1::M1Indexer;
+        use crate::partition::FixedLength;
+        use fabric_ledger::LedgerConfig;
+        use fabric_workload::ingest::{ingest, IdentityEncoder, IngestMode};
+        use fabric_workload::{Event, EventKind};
+
+        let dir = std::env::temp_dir().join(format!(
+            "planner-probe-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ledger = Ledger::open(&dir, LedgerConfig::small_for_tests()).unwrap();
+        ledger.telemetry().enable();
+        let events: Vec<Event> = (1..=40)
+            .map(|i| Event {
+                subject: EntityId::shipment(0),
+                target: EntityId::container(0),
+                time: i * 10,
+                kind: EventKind::Load,
+            })
+            .collect();
+        ingest(&ledger, &events, IngestMode::SingleEvent, &IdentityEncoder).unwrap();
+        let strategy = FixedLength { u: 100 };
+        let indexer = M1Indexer::fixed(&strategy);
+        indexer
+            .run_epoch(&ledger, &[EntityId::shipment(0)], Interval::new(0, 200))
+            .unwrap();
+
+        let auto = AutoEngine::default();
+        let key = EntityId::shipment(0);
+        let tau = Interval::new(0, 200);
+        auto.choose(&ledger, key, tau).unwrap();
+        let counters = |name: &str| ledger.telemetry().registry().snapshot().counter(name);
+        let first_misses = counters("planner.probe.miss");
+        assert!(first_misses > 0, "first plan must probe the state-db");
+        assert_eq!(counters("planner.probe.hit"), 0);
+
+        auto.choose(&ledger, key, tau).unwrap();
+        assert_eq!(
+            counters("planner.probe.miss"),
+            first_misses,
+            "re-planning the same window must not re-probe"
+        );
+        assert_eq!(counters("planner.probe.hit"), first_misses);
+
+        // Indexer progress (new epoch ⇒ new horizon) invalidates the cache.
+        indexer
+            .run_epoch(&ledger, &[EntityId::shipment(0)], Interval::new(200, 400))
+            .unwrap();
+        auto.choose(&ledger, key, Interval::new(0, 400)).unwrap();
+        assert!(
+            counters("planner.probe.miss") > first_misses,
+            "watermark bump must clear cached probes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

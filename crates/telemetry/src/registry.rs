@@ -53,6 +53,13 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raise the value to `v` if it is below it (monotone publish — safe
+    /// when several workers report the same logical watermark).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -197,6 +204,17 @@ mod tests {
         g.set(10);
         g.add(-4);
         assert_eq!(r.snapshot().gauges["depth"], 6);
+    }
+
+    #[test]
+    fn set_max_is_monotone() {
+        let r = Registry::new();
+        let g = r.gauge("watermark");
+        g.set_max(5);
+        g.set_max(3); // stale publisher loses
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(r.snapshot().gauges["watermark"], 9);
     }
 
     #[test]
