@@ -1,5 +1,6 @@
 //! Command implementations for `tfq`.
 
+use fabric_kvstore::Backend;
 use fabric_ledger::{Ledger, LedgerConfig, ShardedLedger};
 use fabric_workload::dataset::{self, DatasetId};
 use fabric_workload::ingest::{ingest, ingest_sharded, IdentityEncoder, IngestMode};
@@ -48,7 +49,7 @@ const USAGE: &str = "usage: tfq <command> ...
           one-shot online M1 maintenance: consume committed blocks from the
           persisted watermark, append EV-set deltas, persist progress + the
           per-key adaptive θ map, and exit with the horizon on the tip
-  backup  <dir> <dest-dir>
+  backup  <dir> <dest-dir> [--shards N]
   export-trace <out.csv> [ds1|ds2|ds3] [--scale N]
   replay  <dir> <trace.csv> [--mode se|me] [--m2-u U]
   serve   <dir> [--addr H:P] [--slow-ms N] [--slow-factor F] [--slow-log PATH]
@@ -60,6 +61,11 @@ read-path flags (any command taking <dir>):
   --cache-shards N   cache mutex shards (0 = auto from capacity)
   --coalesce on|off  group history reads by block (default on)
 write-path flags (any command taking <dir>):
+  --backend lsm|log|auto     storage engine for the index and state
+                             stores (default auto: resolve from the
+                             directory's on-disk ENGINE marker, falling
+                             back to lsm; the choice is persisted and
+                             checked on reopen)
   --pipeline on|off          pipelined block commit (default off, the
                              paper's cost model; byte-identical either way)
   --wal-group-commit on|off  coalesce concurrent kvstore writers into one
@@ -69,8 +75,8 @@ write-path flags (any command taking <dir>):
                              byte-identical either way)
   --shards N                 key-range-sharded ledger with N partitions
                              (demo/info/events/join/plan/serve/history/
-                             verify/index-daemon; the count is persisted
-                             and checked on reopen)
+                             verify/index-daemon/backup; the count is
+                             persisted and checked on reopen)
   --index-lag N              demo/serve/index-daemon: run the M1 indexer
                              daemon, cutting an epoch whenever more than N
                              data blocks are unindexed (default 0)
@@ -120,6 +126,14 @@ fn config_from(args: &Args) -> Result<LedgerConfig, String> {
         config.parallel_validate = true;
         config.validate_threads = n as usize;
     }
+    match args.opt("backend") {
+        None | Some("auto") => {}
+        Some("lsm") => config.backend = Backend::Lsm,
+        Some("log") => config.backend = Backend::Log,
+        Some(other) => {
+            return Err(format!("--backend must be lsm|log|auto, got '{other}'"));
+        }
+    }
     Ok(config)
 }
 
@@ -159,10 +173,11 @@ pub fn dispatch(argv: &[String]) -> CliResult {
                 | "history"
                 | "verify"
                 | "index-daemon"
+                | "backup"
         ) {
             return Err(format!(
                 "--shards is not supported by '{cmd}' \
-                 (demo/info/events/join/plan/serve/history/verify/index-daemon only)"
+                 (demo/info/events/join/plan/serve/history/verify/index-daemon/backup only)"
             ));
         }
     }
@@ -419,9 +434,20 @@ fn history(args: &Args) -> CliResult {
 }
 
 fn backup(args: &Args) -> CliResult {
-    let ledger = open_with(args, args.pos(1, "dir")?)?;
     let dest = args.pos(2, "dest-dir")?;
     let started = std::time::Instant::now();
+    if let Some(n) = shards_from(args)? {
+        let ledger = open_sharded(args, args.pos(1, "dir")?, n)?;
+        ledger.backup(dest).map_err(led)?;
+        println!(
+            "backed up {} block(s) across {} shard(s) to {dest} in {:?}",
+            ledger.height(),
+            ledger.shard_count(),
+            started.elapsed()
+        );
+        return Ok(());
+    }
+    let ledger = open_with(args, args.pos(1, "dir")?)?;
     ledger.backup(dest).map_err(led)?;
     println!(
         "backed up {} block(s) to {dest} in {:?}",
@@ -1500,8 +1526,21 @@ mod tests {
         assert!(run(&["info", dir.s(), "--shards", "3"]).is_err());
         assert!(run(&["demo", dir.s(), "ds3", "--shards", "0"]).is_err());
         // Commands that would misread the sharded layout reject the flag.
-        let err = run(&["backup", dir.s(), "/tmp/x", "--shards", "2"]).unwrap_err();
+        let err = run(&["block", dir.s(), "0", "--shards", "2"]).unwrap_err();
         assert!(err.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn sharded_backup_through_dispatch() {
+        let dir = TempDir::new("shbk-src");
+        let dst = TempDir::new("shbk-dst");
+        run(&["demo", dir.s(), "ds3", "--scale", "4", "--shards", "4"]).unwrap();
+        run(&["backup", dir.s(), dst.s(), "--shards", "4"]).unwrap();
+        // The backup is a full sharded ledger: verifiable and queryable.
+        run(&["verify", dst.s(), "--shards", "4"]).unwrap();
+        run(&["events", dst.s(), "S00001", "0", "5000", "--shards", "4"]).unwrap();
+        // Wrong count against the backup's SHARDS meta is rejected.
+        assert!(run(&["info", dst.s(), "--shards", "2"]).is_err());
     }
 
     #[test]
@@ -1619,6 +1658,29 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(read(&serial), read(&auto));
+    }
+
+    #[test]
+    fn backend_flag_selects_and_persists_the_engine() {
+        let dir = TempDir::new("backend");
+        // Build on the value-log engine; the marker persists the choice.
+        run(&["demo", dir.s(), "ds3", "--scale", "400", "--backend", "log"]).unwrap();
+        assert!(dir.0.join("state").join("ENGINE").exists());
+        assert!(dir.0.join("index").join("ENGINE").exists());
+        // Auto (default) resolves the marker; explicit log matches too.
+        run(&["verify", dir.s()]).unwrap();
+        run(&["info", dir.s(), "--backend", "log"]).unwrap();
+        run(&["history", dir.s(), "S00000", "--backend", "auto"]).unwrap();
+        run(&["join", dir.s(), "0", "5000"]).unwrap();
+        // Reopening a marked directory as lsm is a refused mismatch.
+        assert!(run(&["info", dir.s(), "--backend", "lsm"]).is_err());
+        assert!(run(&["info", dir.s(), "--backend", "rocks"]).is_err());
+        // An LSM ledger stays marker-free and refuses --backend log.
+        let lsm = TempDir::new("backend-lsm");
+        run(&["demo", lsm.s(), "ds3", "--scale", "400", "--backend", "lsm"]).unwrap();
+        assert!(!lsm.0.join("state").join("ENGINE").exists());
+        assert!(run(&["info", lsm.s(), "--backend", "log"]).is_err());
+        run(&["info", lsm.s()]).unwrap();
     }
 
     #[test]

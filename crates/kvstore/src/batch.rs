@@ -41,10 +41,10 @@ pub struct WriteBatch {
     ops: Vec<BatchOp>,
 }
 
-const TAG_PUT: u8 = 1;
-const TAG_DELETE: u8 = 2;
+pub(crate) const TAG_PUT: u8 = 1;
+pub(crate) const TAG_DELETE: u8 = 2;
 
-fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -56,7 +56,7 @@ fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_uvarint(data: &[u8], pos: &mut usize) -> Option<u64> {
+pub(crate) fn get_uvarint(data: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {

@@ -46,6 +46,7 @@
 pub mod batch;
 pub mod bloom;
 pub mod crc32;
+pub mod engine;
 pub mod error;
 pub mod iter;
 pub mod memtable;
@@ -53,11 +54,16 @@ pub mod metrics;
 pub mod options;
 pub mod sstable;
 pub mod store;
+pub mod vlog;
 pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
+pub use engine::{
+    detect_backend, open_engine, EngineIter, SharedEngine, StorageEngine, ENGINE_MARKER,
+};
 pub use error::{Error, Result};
 pub use memtable::Slot;
 pub use metrics::MetricsSnapshot;
-pub use options::Options;
+pub use options::{Backend, Options};
 pub use store::{prefix_end, KvStore, RangeIter, StorageStats};
+pub use vlog::{LogRangeIter, LogStore};

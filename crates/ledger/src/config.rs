@@ -1,6 +1,6 @@
 //! Ledger configuration.
 
-use fabric_kvstore::Options as KvOptions;
+use fabric_kvstore::{Backend, Options as KvOptions};
 
 /// Configuration for a [`crate::ledger::Ledger`].
 #[derive(Debug, Clone)]
@@ -56,6 +56,12 @@ pub struct LedgerConfig {
     pub state_db: KvOptions,
     /// Options for the index store (block locations + history index).
     pub index_db: KvOptions,
+    /// Storage engine backing the index and state stores. The default,
+    /// [`Backend::Auto`], resolves from each store directory's on-disk
+    /// marker (falling back to the LSM for fresh or pre-boundary
+    /// directories), so existing ledgers keep opening unchanged; set
+    /// explicitly to create a ledger on the value-log engine.
+    pub backend: Backend,
 }
 
 impl Default for LedgerConfig {
@@ -72,6 +78,7 @@ impl Default for LedgerConfig {
             coalesce_history: true,
             state_db: KvOptions::default(),
             index_db: KvOptions::default(),
+            backend: Backend::Auto,
         }
     }
 }
@@ -91,6 +98,7 @@ impl LedgerConfig {
             coalesce_history: true,
             state_db: KvOptions::small_for_tests(),
             index_db: KvOptions::small_for_tests(),
+            backend: Backend::Auto,
         }
     }
 
@@ -139,6 +147,12 @@ impl LedgerConfig {
         }
         self
     }
+
+    /// Builder-style setter for [`LedgerConfig::backend`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +172,11 @@ mod tests {
             "serial validation is the paper's cost model"
         );
         assert_eq!(c.validate_threads, 0, "thread count defaults to auto");
+        assert_eq!(
+            c.backend,
+            Backend::Auto,
+            "backend must auto-detect so existing ledgers keep opening"
+        );
     }
 
     #[test]
@@ -168,7 +187,8 @@ mod tests {
             .with_cache_shards(4)
             .with_coalesce_history(false)
             .with_pipeline(true)
-            .with_validate_threads(4);
+            .with_validate_threads(4)
+            .with_backend(Backend::Log);
         assert_eq!(c.block_max_txs, 50);
         assert_eq!(c.cache_blocks, 16);
         assert_eq!(c.cache_shards, 4);
@@ -176,6 +196,7 @@ mod tests {
         assert!(c.pipeline);
         assert!(c.parallel_validate, "validate threads imply parallel");
         assert_eq!(c.validate_threads, 4);
+        assert_eq!(c.backend, Backend::Log);
     }
 
     #[test]

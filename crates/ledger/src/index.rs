@@ -17,10 +17,8 @@
 //! History entries are written **only for valid transactions**, exactly as
 //! Fabric's history database does.
 
-use std::sync::Arc;
-
 use bytes::Bytes;
-use fabric_kvstore::{KvStore, WriteBatch};
+use fabric_kvstore::{SharedEngine, StorageEngine, WriteBatch};
 
 use crate::blockfile::BlockLocation;
 use crate::error::{Error, Result};
@@ -33,10 +31,12 @@ const PREFIX_TXID: u8 = b'T';
 const PREFIX_META: u8 = b'M';
 const KEY_SEP: u8 = 0x00;
 
-/// Combined block + history index over a shared key-value store.
+/// Combined block + history index over a shared key-value store. Generic
+/// over the storage engine: any [`StorageEngine`] implementation can host
+/// the index keyspaces.
 #[derive(Debug, Clone)]
 pub struct LedgerIndex {
-    db: Arc<KvStore>,
+    db: SharedEngine,
 }
 
 /// Everything one committed block contributes to the indexes — the owned
@@ -129,14 +129,14 @@ fn meta_key(name: &str) -> Vec<u8> {
 }
 
 impl LedgerIndex {
-    /// Wrap an open store.
-    pub fn new(db: Arc<KvStore>) -> Self {
+    /// Wrap an open storage engine.
+    pub fn new(db: SharedEngine) -> Self {
         LedgerIndex { db }
     }
 
     /// The underlying store (for occupancy gauges).
-    pub(crate) fn store(&self) -> &KvStore {
-        &self.db
+    pub(crate) fn store(&self) -> &dyn StorageEngine {
+        self.db.as_ref()
     }
 
     /// Record everything one committed block contributes to the indexes,
@@ -300,9 +300,9 @@ impl LedgerIndex {
     }
 
     /// Checkpoint the underlying store into `dest` (see
-    /// [`fabric_kvstore::KvStore::checkpoint`]).
+    /// [`StorageEngine::checkpoint`]).
     pub fn checkpoint(&self, dest: impl Into<std::path::PathBuf>) -> Result<()> {
-        self.db.checkpoint(dest)?;
+        self.db.checkpoint(&dest.into())?;
         Ok(())
     }
 }
@@ -332,8 +332,8 @@ mod tests {
     }
 
     fn index(dir: &TempDir) -> LedgerIndex {
-        LedgerIndex::new(Arc::new(
-            KvStore::open(&dir.0, Options::small_for_tests()).unwrap(),
+        LedgerIndex::new(std::sync::Arc::new(
+            fabric_kvstore::KvStore::open(&dir.0, Options::small_for_tests()).unwrap(),
         ))
     }
 

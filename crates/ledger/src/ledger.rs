@@ -23,7 +23,7 @@ use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use fabric_kvstore::KvStore;
+use fabric_kvstore::{open_engine, Backend};
 use fabric_telemetry::{QueueProbe, SpanContext, SpanGuard, Telemetry};
 
 use crate::block::Block;
@@ -476,16 +476,18 @@ impl Ledger {
             stats.clone(),
             tel.clone(),
         )?);
-        let index_db = Arc::new(KvStore::open_with_telemetry(
-            dir.join("index"),
-            config.index_db.clone(),
-            tel.clone(),
-        )?);
-        let state_db = Arc::new(KvStore::open_with_telemetry(
-            dir.join("state"),
-            config.state_db.clone(),
-            tel.clone(),
-        )?);
+        // Engine resolution per store directory: `config.backend` seeds the
+        // per-store options, and the on-disk marker wins for existing dirs
+        // (see `fabric_kvstore::open_engine`), so reopening an existing
+        // ledger never silently reformats it.
+        let mut index_opts = config.index_db.clone();
+        let mut state_opts = config.state_db.clone();
+        if config.backend != Backend::Auto {
+            index_opts.backend = config.backend;
+            state_opts.backend = config.backend;
+        }
+        let index_db = open_engine(dir.join("index"), index_opts, tel.clone())?;
+        let state_db = open_engine(dir.join("state"), state_opts, tel.clone())?;
         let index = LedgerIndex::new(index_db);
         let state = StateDb::new(state_db);
         let cache = if config.cache_blocks > 0 {
@@ -1146,6 +1148,20 @@ impl Ledger {
         set("indexdb.wal_bytes", index.wal_bytes);
         set("indexdb.memtable_entries", index.memtable_entries);
         set("indexdb.memtable_bytes", index.memtable_bytes);
+        // Per-backend shape: which engine hosts each store (0 = lsm,
+        // 1 = log) and the value-log occupancy counters. The log gauges
+        // read zero on LSM-backed stores, so scrapes see a stable set of
+        // series regardless of backend.
+        reg.gauge("statedb.kv.backend")
+            .set(state.backend.as_gauge());
+        set("statedb.kv.log.data_files", state.data_files);
+        set("statedb.kv.log.uncompacted_bytes", state.uncompacted_bytes);
+        set("statedb.kv.log.compactions", state.compactions);
+        reg.gauge("indexdb.kv.backend")
+            .set(index.backend.as_gauge());
+        set("indexdb.kv.log.data_files", index.data_files);
+        set("indexdb.kv.log.uncompacted_bytes", index.uncompacted_bytes);
+        set("indexdb.kv.log.compactions", index.compactions);
         // Write-path shape: fsync and group-commit totals per store. The
         // fsync count is the headline durability cost; the batch/commit
         // ratio shows how much coalescing (pipelined backlog or concurrent

@@ -6,10 +6,9 @@
 //! compare versions without a second lookup.
 
 use std::ops::Bound;
-use std::sync::Arc;
 
 use bytes::Bytes;
-use fabric_kvstore::{KvStore, WriteBatch};
+use fabric_kvstore::{SharedEngine, StorageEngine, WriteBatch};
 
 use crate::error::{Error, Result};
 use crate::tx::Version;
@@ -48,21 +47,22 @@ impl VersionedValue {
     }
 }
 
-/// The current-state store.
+/// The current-state store. Generic over the storage engine: any
+/// [`StorageEngine`] implementation can host the state keyspace.
 #[derive(Debug, Clone)]
 pub struct StateDb {
-    db: Arc<KvStore>,
+    db: SharedEngine,
 }
 
 impl StateDb {
-    /// Wrap an open store.
-    pub fn new(db: Arc<KvStore>) -> Self {
+    /// Wrap an open storage engine.
+    pub fn new(db: SharedEngine) -> Self {
         StateDb { db }
     }
 
     /// The underlying store (for occupancy gauges).
-    pub(crate) fn store(&self) -> &KvStore {
-        &self.db
+    pub(crate) fn store(&self) -> &dyn StorageEngine {
+        self.db.as_ref()
     }
 
     /// Current state of `key`, with its committing version.
@@ -173,9 +173,9 @@ impl StateDb {
     }
 
     /// Checkpoint the underlying store into `dest` (see
-    /// [`fabric_kvstore::KvStore::checkpoint`]).
+    /// [`StorageEngine::checkpoint`]).
     pub fn checkpoint(&self, dest: impl Into<std::path::PathBuf>) -> Result<()> {
-        self.db.checkpoint(dest)?;
+        self.db.checkpoint(&dest.into())?;
         Ok(())
     }
 }
@@ -205,8 +205,8 @@ mod tests {
     }
 
     fn statedb(dir: &TempDir) -> StateDb {
-        StateDb::new(Arc::new(
-            KvStore::open(&dir.0, Options::small_for_tests()).unwrap(),
+        StateDb::new(std::sync::Arc::new(
+            fabric_kvstore::KvStore::open(&dir.0, Options::small_for_tests()).unwrap(),
         ))
     }
 
